@@ -1,0 +1,533 @@
+(* Benchmark harness: regenerates every table of the paper's evaluation
+   section plus the design-choice ablations documented in DESIGN.md.
+
+   Usage:
+     dune exec bench/main.exe                 # everything
+     dune exec bench/main.exe -- table1       # paper Table I
+     dune exec bench/main.exe -- table2 [--nx N --ny N --nz N --loads K]
+     dune exec bench/main.exe -- ablation-basis
+     dune exec bench/main.exe -- ablation-adaptive
+     dune exec bench/main.exe -- ablation-kron
+     dune exec bench/main.exe -- fft-sweep
+     dune exec bench/main.exe -- micro        # bechamel micro-benchmarks *)
+
+open Opm_numkit
+open Opm_basis
+open Opm_signal
+open Opm_core
+open Opm_circuit
+open Opm_transient
+
+(* ------------------------------------------------------------------ *)
+(* timing helpers                                                      *)
+
+let wall f =
+  let t0 = Unix.gettimeofday () in
+  let result = f () in
+  (Unix.gettimeofday () -. t0, result)
+
+(* best-of-n wall time: robust against scheduler noise *)
+let timed ?(runs = 3) f =
+  let result = ref None in
+  let best = ref infinity in
+  for _ = 1 to runs do
+    let t, r = wall f in
+    if t < !best then best := t;
+    result := Some r
+  done;
+  match !result with Some r -> (!best, r) | None -> assert false
+
+let pp_time seconds =
+  if seconds < 1e-3 then Printf.sprintf "%.1f µs" (seconds *. 1e6)
+  else if seconds < 1.0 then Printf.sprintf "%.2f ms" (seconds *. 1e3)
+  else Printf.sprintf "%.2f s" seconds
+
+let header title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+let rule () = print_endline (String.make 72 '-')
+
+(* ------------------------------------------------------------------ *)
+(* Table I — fractional transmission line, OPM vs FFT-1/FFT-2          *)
+
+let table1 () =
+  header "Table I — fractional t-line (alpha = 1/2, n = 7, T = 2.7 ns, m = 8)";
+  let sys = Tline.model () in
+  let srcs = Tline.inputs () in
+  let t_end = Tline.t_end and alpha = Tline.alpha in
+  let grid8 = Grid.uniform ~t_end ~m:8 in
+  let t_opm, opm =
+    timed (fun () -> Opm.simulate_fractional ~grid:grid8 ~alpha sys srcs)
+  in
+  let t_fft1, fft1 =
+    timed (fun () -> Freq_domain.solve ~n_samples:8 ~alpha ~t_end sys srcs)
+  in
+  let t_fft2, fft2 =
+    timed (fun () -> Freq_domain.solve ~n_samples:100 ~alpha ~t_end sys srcs)
+  in
+  (* the paper's eq. (30): FFT error measured against OPM *)
+  let err w = Error.waveform_error_db ~reference:opm.Sim_result.outputs w in
+  Printf.printf "%-8s  %12s  %16s   %s\n" "Method" "CPU time" "Rel. error (dB)"
+    "paper: time / err";
+  rule ();
+  Printf.printf "%-8s  %12s  %16s   %s\n" "FFT-1" (pp_time t_fft1)
+    (Printf.sprintf "%.1f" (err fft1))
+    "6.09 ms / -29.2 dB";
+  Printf.printf "%-8s  %12s  %16s   %s\n" "FFT-2" (pp_time t_fft2)
+    (Printf.sprintf "%.1f" (err fft2))
+    "40.7 ms / -46.5 dB";
+  Printf.printf "%-8s  %12s  %16s   %s\n" "OPM" (pp_time t_opm) "(reference)"
+    "3.56 ms / --";
+  rule ();
+  let shape_ok = err fft2 < err fft1 && t_opm < t_fft2 in
+  Printf.printf
+    "shape check: FFT-2 more accurate than FFT-1 and OPM cheapest: %s\n"
+    (if shape_ok then "HOLDS" else "VIOLATED");
+  (* independent accuracy yardstick: a fine OPM reference *)
+  let fine =
+    Opm.simulate_fractional ~grid:(Grid.uniform ~t_end ~m:512) ~alpha sys srcs
+  in
+  let vs_fine w =
+    Error.waveform_error_db ~reference:fine.Sim_result.outputs w
+  in
+  Printf.printf
+    "vs fine OPM (m = 512): OPM-8 %.1f dB, FFT-1 %.1f dB, FFT-2 %.1f dB\n"
+    (vs_fine opm.Sim_result.outputs)
+    (vs_fine fft1) (vs_fine fft2)
+
+(* ------------------------------------------------------------------ *)
+(* Table II — 3-D power grid: OPM (2nd-order NA) vs b-Euler/Gear/trap  *)
+
+type grid_cli = { nx : int; ny : int; nz : int; loads : int }
+
+let default_cli = { nx = 12; ny = 12; nz = 4; loads = 8 }
+
+let table2 cli =
+  let spec =
+    {
+      Power_grid.default_spec with
+      nx = cli.nx;
+      ny = cli.ny;
+      nz = cli.nz;
+      load_count = cli.loads;
+    }
+  in
+  header
+    (Printf.sprintf
+       "Table II — 3-D power grid %dx%dx%d (NA n = %d, MNA n = %d; paper: 75 K / 110 K)"
+       spec.Power_grid.nx spec.Power_grid.ny spec.Power_grid.nz
+       (Power_grid.na_unknowns spec)
+       (Power_grid.mna_unknowns spec));
+  let net = Power_grid.generate spec in
+  let probe =
+    [
+      Mna.Node_voltage (Power_grid.node_name ~x:0 ~y:0 ~z:0);
+      Mna.Node_voltage
+        (Power_grid.node_name ~x:(spec.Power_grid.nx / 2)
+           ~y:(spec.Power_grid.ny / 2) ~z:0);
+    ]
+  in
+  let na_sys, na_srcs = Na2.stamp ~outputs:probe net in
+  let mna_sys, mna_srcs = Mna.stamp_linear ~outputs:probe net in
+  let t_end = 1e-9 in
+  let h0 = 10e-12 in
+  (* reference: trapezoidal on the MNA DAE at h/20 *)
+  let reference =
+    Stepper.solve ~scheme:Stepper.Trapezoidal ~h:(h0 /. 20.0) ~t_end mna_sys
+      mna_srcs
+  in
+  let err w = Error.average_relative_error_db ~reference w in
+  Printf.printf "%-12s %-8s %12s %18s   %s\n" "Method" "Step" "Runtime"
+    "Avg rel err (dB)" "paper: runtime / err";
+  rule ();
+  let be_row h paper =
+    let t, w =
+      timed ~runs:1 (fun () ->
+          Stepper.solve ~scheme:Stepper.Backward_euler ~h ~t_end mna_sys
+            mna_srcs)
+    in
+    Printf.printf "%-12s %-8s %12s %18.1f   %s\n" "b-Euler"
+      (Printf.sprintf "%g ps" (h *. 1e12))
+      (pp_time t) (err w) paper;
+    (t, err w)
+  in
+  let t_be10, e_be10 = be_row 10e-12 "334.7 s / -91 dB" in
+  let _t_be5, e_be5 = be_row 5e-12 "691.7 s / -92 dB" in
+  let t_be1, e_be1 = be_row 1e-12 "3198 s / -127 dB" in
+  let t_gear, w_gear =
+    timed ~runs:1 (fun () ->
+        Stepper.solve ~scheme:Stepper.Gear2 ~h:h0 ~t_end mna_sys mna_srcs)
+  in
+  let e_gear = err w_gear in
+  Printf.printf "%-12s %-8s %12s %18.1f   %s\n" "Gear" "10 ps" (pp_time t_gear)
+    e_gear "359.1 s / -134 dB";
+  let t_trap, w_trap =
+    timed ~runs:1 (fun () ->
+        Stepper.solve ~scheme:Stepper.Trapezoidal ~h:h0 ~t_end mna_sys mna_srcs)
+  in
+  let e_trap = err w_trap in
+  Printf.printf "%-12s %-8s %12s %18.1f   %s\n" "Trapezoidal" "10 ps"
+    (pp_time t_trap) e_trap "347.2 s / -137 dB";
+  let m = int_of_float (Float.round (t_end /. h0)) in
+  let t_opm, r_opm =
+    timed ~runs:1 (fun () ->
+        Opm.simulate_multi_term ~grid:(Grid.uniform ~t_end ~m) na_sys na_srcs)
+  in
+  let e_opm = err r_opm.Sim_result.outputs in
+  Printf.printf "%-12s %-8s %12s %18.1f   %s\n" "OPM (NA)" "10 ps"
+    (pp_time t_opm) e_opm "314.6 s / --";
+  rule ();
+  let shape1 = e_be10 > e_trap && e_be10 > e_gear in
+  let shape2 = e_be1 < e_be10 && e_be5 < e_be10 in
+  (* at the paper's 110 K unknowns the per-step cost dominates and the
+     10x step count shows as ~10x runtime; at our scaled size the
+     one-time factorisation (~40 ms) amortises much less, so we check
+     only that the runtime grows materially with the step count *)
+  let shape3 = t_be1 > 2.0 *. t_be10 in
+  let shape4 = t_opm < 3.0 *. t_trap in
+  Printf.printf "shape checks (paper's qualitative claims):\n";
+  Printf.printf "  b-Euler(10ps) least accurate of the 10ps rows: %s\n"
+    (if shape1 then "HOLDS" else "VIOLATED");
+  Printf.printf "  b-Euler improves as h shrinks:                 %s\n"
+    (if shape2 then "HOLDS" else "VIOLATED");
+  Printf.printf "  b-Euler(1ps) >> b-Euler(10ps) runtime:         %s\n"
+    (if shape3 then "HOLDS" else "VIOLATED");
+  Printf.printf "  OPM runtime on par with trap/Gear at 10ps:     %s\n"
+    (if shape4 then "HOLDS" else "VIOLATED");
+  ignore e_opm
+
+(* ------------------------------------------------------------------ *)
+(* Ablation: basis choice (BPF triangular vs Walsh/Haar similarity)    *)
+
+let ablation_basis () =
+  header "Ablation — basis functions (paper §I: BPF vs Walsh vs Haar)";
+  let input = Source.Step { amplitude = 1.0; delay = 0.0 } in
+  let net = Generators.rc_ladder ~sections:4 ~input () in
+  let sys, srcs = Mna.stamp_linear ~outputs:[ Mna.Node_voltage "n4" ] net in
+  let t_end = 2e-5 and m = 64 in
+  let grid = Grid.uniform ~t_end ~m in
+  let e = Descriptor.e_dense sys and a = Descriptor.a_dense sys in
+  let u = Opm.input_coefficients ~grid srcs in
+  let bu = Mat.mul sys.Descriptor.b u in
+  (* BPF: the triangular structure admits the fast column solver *)
+  let d_bpf = Block_pulse.differential_matrix grid in
+  let t_bpf, x_bpf =
+    timed (fun () -> Engine.solve_dense ~terms:[ (e, d_bpf) ] ~a ~bu)
+  in
+  (* Walsh: the similarity-transported D is dense, so only the full
+     Kronecker solve applies — same answer, triangularity lost *)
+  let w = Walsh.walsh_matrix m in
+  let w_inv = Mat.scale (1.0 /. float_of_int m) (Mat.transpose w) in
+  let d_walsh = Walsh.differential_matrix grid in
+  let bu_walsh = Mat.mul bu (Mat.transpose w_inv) in
+  let t_walsh, x_walsh =
+    timed ~runs:1 (fun () ->
+        Engine.solve_dense_kron ~terms:[ (e, d_walsh) ] ~a ~bu:bu_walsh)
+  in
+  let x_walsh_back = Mat.mul x_walsh (Mat.transpose w) in
+  Printf.printf "%-22s %12s   (D_bpf upper triangular: %b)\n" "basis"
+    "solve time"
+    (Mat.is_upper_triangular ~tol:1e-12 d_bpf);
+  rule ();
+  Printf.printf "%-22s %12s   (column-by-column solver)\n" "block-pulse"
+    (pp_time t_bpf);
+  Printf.printf "%-22s %12s   (Kronecker solver; D_W dense)\n"
+    "walsh (same solution)" (pp_time t_walsh);
+  Printf.printf "agreement walsh vs bpf: %.2g (coefficient max diff)\n"
+    (Mat.max_abs_diff x_walsh_back x_bpf);
+  (* the Walsh selling point: low-sequency truncation keeps the trend *)
+  let y = Mat.row (Mat.mul sys.Descriptor.c x_bpf) 0 in
+  Printf.printf "\nspectral truncation of the output (keep k of %d):\n" m;
+  Printf.printf "%-8s %18s %18s\n" "keep" "walsh err (dB)" "haar err (dB)";
+  rule ();
+  List.iter
+    (fun keep ->
+      let cw = Walsh.bpf_to_walsh y in
+      let walsh_trend = Walsh.walsh_to_bpf (Walsh.truncate_spectrum ~keep cw) in
+      let ch = Haar.transform y in
+      let ch_t = Array.mapi (fun i v -> if i < keep then v else 0.0) ch in
+      let haar_trend = Haar.inverse_transform ch_t in
+      Printf.printf "%-8d %18.1f %18.1f\n" keep
+        (Error.relative_error_db ~reference:y walsh_trend)
+        (Error.relative_error_db ~reference:y haar_trend))
+    (* at powers of two the spans of the first k Walsh and Haar functions
+       coincide (both = piecewise constants on k dyadic intervals), so
+       the interesting comparison points are the non-powers *)
+    [ 2; 3; 4; 6; 8; 12; 16; 24; 32; 48; 64 ]
+
+(* ------------------------------------------------------------------ *)
+(* Ablation: adaptive vs uniform time step (paper §III-B)              *)
+
+let ablation_adaptive () =
+  header "Ablation — adaptive vs uniform step (two-time-scale RC)";
+  let input = Source.Step { amplitude = 1.0; delay = 0.0 } in
+  let net = Generators.rc_two_time_scale ~input () in
+  let sys, srcs =
+    Mna.stamp_linear
+      ~outputs:[ Mna.Node_voltage "fast"; Mna.Node_voltage "slow" ] net
+  in
+  let t_end = 5e-4 in
+  (* gold reference: trapezoidal at a very fine step (an OPM reference at
+     matching accuracy would need a dense m² operational matrix) *)
+  let reference =
+    Stepper.solve ~scheme:Stepper.Trapezoidal ~h:(t_end /. 200000.0) ~t_end sys
+      srcs
+  in
+  Printf.printf "%-26s %10s %12s %14s\n" "run" "steps" "runtime" "err (dB)";
+  rule ();
+  List.iter
+    (fun m ->
+      let t, r =
+        timed ~runs:1 (fun () ->
+            Opm.simulate_linear ~grid:(Grid.uniform ~t_end ~m) sys srcs)
+      in
+      Printf.printf "%-26s %10d %12s %14.1f\n"
+        (Printf.sprintf "uniform m=%d" m)
+        m (pp_time t)
+        (Error.waveform_error_db ~reference r.Sim_result.outputs))
+    [ 100; 1000; 10000 ];
+  List.iter
+    (fun tol ->
+      let t, (r, stats) =
+        timed ~runs:1 (fun () ->
+            Adaptive.solve ~tol ~h_init:1e-7 ~t_end sys srcs)
+      in
+      Printf.printf "%-26s %10d %12s %14.1f   (%d rejected, %d LU)\n"
+        (Printf.sprintf "adaptive OPM tol=%g" tol)
+        stats.Adaptive.accepted (pp_time t)
+        (Error.waveform_error_db ~reference r.Sim_result.outputs)
+        stats.Adaptive.rejected stats.Adaptive.factorizations)
+    [ 1e-3; 1e-5; 1e-7 ];
+  (* the classical counterpart with the same controller *)
+  List.iter
+    (fun tol ->
+      let t, (w, stats) =
+        timed ~runs:1 (fun () ->
+            Adaptive_trap.solve ~tol ~h_init:1e-7 ~t_end sys srcs)
+      in
+      Printf.printf "%-26s %10d %12s %14.1f   (%d rejected, %d LU)\n"
+        (Printf.sprintf "adaptive trap tol=%g" tol)
+        stats.Adaptive_trap.accepted (pp_time t)
+        (Error.waveform_error_db ~reference w)
+        stats.Adaptive_trap.rejected stats.Adaptive_trap.factorizations)
+    [ 1e-3; 1e-5; 1e-7 ]
+
+(* ------------------------------------------------------------------ *)
+(* Ablation: column-by-column vs Kronecker (paper §III-A)              *)
+
+let ablation_kron () =
+  header "Ablation — column solve vs full Kronecker system (paper eq. 15)";
+  Printf.printf "%-10s %-6s %14s %14s %10s\n" "n" "m" "column" "kronecker"
+    "speedup";
+  rule ();
+  List.iter
+    (fun (n, m) ->
+      let sys = Descriptor.random_stable ~seed:(n + m) ~n ~p:1 ~q:1 () in
+      let e = Descriptor.e_dense sys and a = Descriptor.a_dense sys in
+      let grid = Grid.uniform ~t_end:1.0 ~m in
+      let d = Block_pulse.differential_matrix grid in
+      let st = Random.State.make [| 3 |] in
+      let bu = Mat.init n m (fun _ _ -> Random.State.float st 2.0 -. 1.0) in
+      let t_col, x1 =
+        timed (fun () -> Engine.solve_dense ~terms:[ (e, d) ] ~a ~bu)
+      in
+      let t_kron, x2 =
+        timed ~runs:1 (fun () ->
+            Engine.solve_dense_kron ~terms:[ (e, d) ] ~a ~bu)
+      in
+      assert (Mat.max_abs_diff x1 x2 < 1e-6);
+      Printf.printf "%-10d %-6d %14s %14s %9.0fx\n" n m (pp_time t_col)
+        (pp_time t_kron) (t_kron /. t_col))
+    [ (10, 8); (10, 32); (20, 32); (30, 32); (20, 64) ]
+
+(* ------------------------------------------------------------------ *)
+(* Convergence vs an exact reference (paper claim (i): OPM has          *)
+(* "roughly the same performance as trapezoidal and Gear's methods")   *)
+
+let convergence () =
+  header
+    "Convergence — error vs step count against the exact LTI reference";
+  (* an RLC mesh driven by a smooth source, observed at a far node *)
+  let input = Source.Sine { amplitude = 1.0; freq_hz = 2e5; phase = 0.3; offset = 0.5 } in
+  let net =
+    Netlist.of_list
+      [
+        Netlist.i "I1" "a" "0" input;
+        Netlist.r "R1" "a" "b" 100.0;
+        Netlist.c "C1" "a" "0" 1e-9;
+        Netlist.r "R2" "b" "c" 100.0;
+        Netlist.c "C2" "b" "0" 1e-9;
+        Netlist.l "L1" "c" "0" 1e-5;
+        Netlist.c "C3" "c" "0" 1e-9;
+        Netlist.r "R3" "c" "0" 1e3;
+      ]
+  in
+  let sys, srcs = Mna.stamp_linear ~outputs:[ Mna.Node_voltage "c" ] net in
+  let t_end = 2e-5 in
+  let reference = Exact_lti.solve ~h:(t_end /. 4096.0) ~t_end sys srcs in
+  Printf.printf "%-8s %14s %14s %14s %14s\n" "m" "OPM (dB)" "trap (dB)"
+    "Gear (dB)" "b-Euler (dB)";
+  rule ();
+  List.iter
+    (fun m ->
+      let h = t_end /. float_of_int m in
+      let err w = Error.waveform_error_db ~reference w in
+      let e_opm =
+        err
+          (Opm.simulate_linear ~grid:(Grid.uniform ~t_end ~m) sys srcs)
+            .Sim_result.outputs
+      in
+      let e_of scheme = err (Stepper.solve ~scheme ~h ~t_end sys srcs) in
+      Printf.printf "%-8d %14.1f %14.1f %14.1f %14.1f\n" m e_opm
+        (e_of Stepper.Trapezoidal) (e_of Stepper.Gear2)
+        (e_of Stepper.Backward_euler))
+    [ 16; 32; 64; 128; 256; 512 ];
+  print_endline
+    "expected shape: OPM, trapezoidal and Gear improve ~12 dB per doubling\n\
+     (order 2); backward Euler only ~6 dB (order 1) — the paper's claim (i)."
+
+(* ------------------------------------------------------------------ *)
+(* FFT sample-count sweep (extends Table I's two data points)          *)
+
+let fft_sweep () =
+  header "FFT accuracy sweep — t-line model, error vs sample count";
+  let sys = Tline.model () in
+  let srcs = Tline.inputs () in
+  let t_end = Tline.t_end and alpha = Tline.alpha in
+  let fine =
+    Opm.simulate_fractional ~grid:(Grid.uniform ~t_end ~m:512) ~alpha sys srcs
+  in
+  Printf.printf "%-10s %14s %16s\n" "N" "runtime" "err vs OPM (dB)";
+  rule ();
+  List.iter
+    (fun n ->
+      let t, w =
+        timed (fun () -> Freq_domain.solve ~n_samples:n ~alpha ~t_end sys srcs)
+      in
+      Printf.printf "%-10d %14s %16.1f\n" n (pp_time t)
+        (Error.waveform_error_db ~reference:fine.Sim_result.outputs w))
+    [ 8; 16; 32; 64; 100; 128; 256; 512; 1024 ]
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks: one Test.make per table                  *)
+
+let micro () =
+  header "Bechamel micro-benchmarks (one per table)";
+  let open Bechamel in
+  let open Toolkit in
+  (* Table I kernel: OPM fractional solve at the paper's size *)
+  let tline_sys = Tline.model () in
+  let tline_srcs = Tline.inputs () in
+  let grid8 = Grid.uniform ~t_end:Tline.t_end ~m:8 in
+  let test_table1 =
+    Test.make ~name:"table1/opm-frac-tline-m8"
+      (Staged.stage (fun () ->
+           Opm.simulate_fractional ~grid:grid8 ~alpha:Tline.alpha tline_sys
+             tline_srcs))
+  in
+  let test_table1_fft =
+    Test.make ~name:"table1/fft-100-tline"
+      (Staged.stage (fun () ->
+           Freq_domain.solve ~n_samples:100 ~alpha:Tline.alpha
+             ~t_end:Tline.t_end tline_sys tline_srcs))
+  in
+  (* Table II kernel: OPM second-order NA on a small grid *)
+  let spec =
+    { Power_grid.default_spec with nx = 4; ny = 4; nz = 2; load_count = 2 }
+  in
+  let net = Power_grid.generate spec in
+  let na_sys, na_srcs = Na2.stamp net in
+  let mna_sys, mna_srcs = Mna.stamp_linear net in
+  let grid_t2 = Grid.uniform ~t_end:1e-9 ~m:50 in
+  let test_table2 =
+    Test.make ~name:"table2/opm-na-grid-4x4x2"
+      (Staged.stage (fun () ->
+           Opm.simulate_multi_term ~grid:grid_t2 na_sys na_srcs))
+  in
+  let test_table2_trap =
+    Test.make ~name:"table2/trap-mna-grid-4x4x2"
+      (Staged.stage (fun () ->
+           Stepper.solve ~scheme:Stepper.Trapezoidal ~h:20e-12 ~t_end:1e-9
+             mna_sys mna_srcs))
+  in
+  let grouped =
+    Test.make_grouped ~name:"opm"
+      [ test_table1; test_table1_fft; test_table2; test_table2_trap ]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 1.0) ~stabilize:true ()
+  in
+  let raw = Benchmark.all cfg instances grouped in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name est acc -> (name, est) :: acc) results [] in
+  let rows = List.sort (fun (a, _) (b, _) -> compare a b) rows in
+  Printf.printf "%-36s %16s %10s\n" "benchmark" "time/run" "r²";
+  rule ();
+  List.iter
+    (fun (name, est) ->
+      let time_ns =
+        match Analyze.OLS.estimates est with
+        | Some (t :: _) -> t
+        | Some [] | None -> nan
+      in
+      let r2 =
+        match Analyze.OLS.r_square est with Some r -> r | None -> nan
+      in
+      Printf.printf "%-36s %16s %10.4f\n" name (pp_time (time_ns *. 1e-9)) r2)
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* driver                                                              *)
+
+let parse_grid_cli args =
+  let cli = ref default_cli in
+  let rec go = function
+    | "--nx" :: v :: rest ->
+        cli := { !cli with nx = int_of_string v };
+        go rest
+    | "--ny" :: v :: rest ->
+        cli := { !cli with ny = int_of_string v };
+        go rest
+    | "--nz" :: v :: rest ->
+        cli := { !cli with nz = int_of_string v };
+        go rest
+    | "--loads" :: v :: rest ->
+        cli := { !cli with loads = int_of_string v };
+        go rest
+    | [] -> ()
+    | unknown :: _ -> failwith ("table2: unknown option " ^ unknown)
+  in
+  go args;
+  !cli
+
+let () =
+  match Array.to_list Sys.argv with
+  | _ :: "table1" :: _ -> table1 ()
+  | _ :: "table2" :: rest -> table2 (parse_grid_cli rest)
+  | _ :: "ablation-basis" :: _ -> ablation_basis ()
+  | _ :: "ablation-adaptive" :: _ -> ablation_adaptive ()
+  | _ :: "ablation-kron" :: _ -> ablation_kron ()
+  | _ :: "convergence" :: _ -> convergence ()
+  | _ :: "fft-sweep" :: _ -> fft_sweep ()
+  | _ :: "micro" :: _ -> micro ()
+  | _ :: [] | _ :: "all" :: _ ->
+      table1 ();
+      table2 default_cli;
+      ablation_basis ();
+      ablation_adaptive ();
+      ablation_kron ();
+      convergence ();
+      fft_sweep ();
+      micro ()
+  | _ :: cmd :: _ ->
+      Printf.eprintf
+        "unknown command %s (try table1, table2, ablation-basis, \
+         ablation-adaptive, ablation-kron, convergence, fft-sweep, micro, \
+         all)\n"
+        cmd;
+      exit 1
+  | [] -> assert false

@@ -1,0 +1,264 @@
+(* opm_sim — command-line circuit simulator.
+
+   Parses a SPICE-flavoured netlist, stamps it (MNA; second-order NA is
+   available through the library API), and runs one of:
+   - transient analysis (OPM and the baseline methods), CSV on stdout;
+   - AC analysis (Bode CSV);
+   - DC operating point;
+   - pole analysis. *)
+
+open Cmdliner
+open Opm_basis
+open Opm_core
+open Opm_circuit
+open Opm_transient
+open Opm_analysis
+
+type method_ = Opm_method | Be | Trap | Gear | Fft | Gl | Opm_adaptive | Exact
+
+let method_conv =
+  let parse = function
+    | "opm" -> Ok Opm_method
+    | "opm-adaptive" -> Ok Opm_adaptive
+    | "be" | "backward-euler" -> Ok Be
+    | "trap" | "trapezoidal" -> Ok Trap
+    | "gear" | "bdf2" -> Ok Gear
+    | "fft" -> Ok Fft
+    | "gl" | "grunwald" -> Ok Gl
+    | "exact" -> Ok Exact
+    | s -> Error (`Msg (Printf.sprintf "unknown method %S" s))
+  in
+  let print ppf m =
+    Fmt.string ppf
+      (match m with
+      | Opm_method -> "opm"
+      | Opm_adaptive -> "opm-adaptive"
+      | Be -> "be"
+      | Trap -> "trap"
+      | Gear -> "gear"
+      | Fft -> "fft"
+      | Gl -> "gl"
+      | Exact -> "exact")
+  in
+  Arg.conv (parse, print)
+
+type mode = Tran | Ac_mode | Dc_mode | Poles_mode
+
+let mode_conv =
+  let parse = function
+    | "tran" -> Ok Tran
+    | "ac" -> Ok Ac_mode
+    | "dc" -> Ok Dc_mode
+    | "poles" -> Ok Poles_mode
+    | s -> Error (`Msg (Printf.sprintf "unknown mode %S" s))
+  in
+  let print ppf m =
+    Fmt.string ppf
+      (match m with
+      | Tran -> "tran"
+      | Ac_mode -> "ac"
+      | Dc_mode -> "dc"
+      | Poles_mode -> "poles")
+  in
+  Arg.conv (parse, print)
+
+let netlist_arg =
+  let doc = "Netlist file to simulate." in
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"NETLIST" ~doc)
+
+let mode_arg =
+  let doc = "Analysis mode: tran (default), ac, dc, poles." in
+  Arg.(value & opt mode_conv Tran & info [ "mode" ] ~docv:"MODE" ~doc)
+
+let t_end_arg =
+  let doc = "Simulation end time in seconds (tran)." in
+  Arg.(value & opt (some float) None & info [ "t"; "tend" ] ~docv:"T" ~doc)
+
+let steps_arg =
+  let doc = "Number of time steps (OPM: BPF intervals; FFT: samples)." in
+  Arg.(value & opt int 128 & info [ "m"; "steps" ] ~docv:"M" ~doc)
+
+let method_arg =
+  let doc =
+    "Transient method: opm, opm-adaptive, be (backward Euler), trap \
+     (trapezoidal), gear (BDF2), fft (frequency domain), gl \
+     (Grünwald–Letnikov), exact (matrix-exponential reference; ODE only)."
+  in
+  Arg.(value & opt method_conv Opm_method & info [ "method" ] ~docv:"METHOD" ~doc)
+
+let probes_arg =
+  let doc = "Output node to probe (repeatable). Defaults to every node voltage." in
+  Arg.(value & opt_all string [] & info [ "probe" ] ~docv:"NODE" ~doc)
+
+let tol_arg =
+  let doc = "Local error tolerance for opm-adaptive." in
+  Arg.(value & opt float 1e-4 & info [ "tol" ] ~doc)
+
+let fstart_arg =
+  let doc = "AC sweep start frequency (Hz)." in
+  Arg.(value & opt float 1.0 & info [ "fstart" ] ~doc)
+
+let fstop_arg =
+  let doc = "AC sweep stop frequency (Hz)." in
+  Arg.(value & opt float 1e9 & info [ "fstop" ] ~doc)
+
+let points_arg =
+  let doc = "AC sweep point count." in
+  Arg.(value & opt int 50 & info [ "points" ] ~doc)
+
+let run_tran net outputs t_end steps method_ tol =
+  let t_end =
+    match t_end with
+    | Some t -> t
+    | None -> failwith "transient analysis needs --tend"
+  in
+  let waveform =
+    match method_ with
+    | Opm_method ->
+        let mt, srcs = Mna.stamp ?outputs net in
+        let grid = Grid.uniform ~t_end ~m:steps in
+        (Opm.simulate_multi_term ~grid mt srcs).Sim_result.outputs
+    | Opm_adaptive ->
+        let sys, srcs = Mna.stamp_linear ?outputs net in
+        let result, stats = Adaptive.solve ~tol ~t_end sys srcs in
+        Logs.info (fun k ->
+            k "adaptive: %d steps, %d rejected, %d factorisations"
+              stats.Adaptive.accepted stats.Adaptive.rejected
+              stats.Adaptive.factorizations);
+        result.Sim_result.outputs
+    | Be | Trap | Gear ->
+        let scheme =
+          match method_ with
+          | Be -> Stepper.Backward_euler
+          | Trap -> Stepper.Trapezoidal
+          | Gear | Opm_method | Opm_adaptive | Fft | Gl | Exact -> Stepper.Gear2
+        in
+        let sys, srcs = Mna.stamp_linear ?outputs net in
+        Stepper.solve ~scheme ~h:(t_end /. float_of_int steps) ~t_end sys srcs
+    | Exact ->
+        let sys, srcs = Mna.stamp_linear ?outputs net in
+        Exact_lti.solve ~h:(t_end /. float_of_int steps) ~t_end sys srcs
+    | Fft -> (
+        match Mna.stamp_fractional ?outputs net with
+        | Some (sys, alpha, srcs) ->
+            Freq_domain.solve ~n_samples:steps ~alpha ~t_end sys srcs
+        | None ->
+            let sys, srcs = Mna.stamp_linear ?outputs net in
+            Freq_domain.solve ~n_samples:steps ~alpha:1.0 ~t_end sys srcs)
+    | Gl -> (
+        match Mna.stamp_fractional ?outputs net with
+        | Some (sys, alpha, srcs) ->
+            Grunwald.solve ~h:(t_end /. float_of_int steps) ~alpha ~t_end sys srcs
+        | None -> failwith "gl needs a purely fractional netlist (single CPE order)")
+  in
+  Opm_signal.Waveform.print_csv waveform
+
+let run_ac net outputs fstart fstop points =
+  let sys, srcs = Mna.stamp_linear ?outputs net in
+  if Descriptor.input_count sys = 0 then failwith "ac needs at least one source";
+  ignore srcs;
+  let two_pi = 2.0 *. Float.pi in
+  let pts =
+    Ac.sweep ~omega_min:(two_pi *. fstart) ~omega_max:(two_pi *. fstop) ~points
+      sys
+  in
+  (* one gain/phase pair per output, against input 0 *)
+  let q = Descriptor.output_count sys in
+  print_string "freq_hz";
+  for o = 0 to q - 1 do
+    Printf.printf ",gain_db_%d,phase_deg_%d" o o
+  done;
+  print_newline ();
+  List.iter
+    (fun pt ->
+      Printf.printf "%.9g" (pt.Ac.omega /. two_pi);
+      for o = 0 to q - 1 do
+        Printf.printf ",%.6g,%.6g"
+          (Ac.gain_db pt ~input:0 ~output:o)
+          (Ac.phase_deg pt ~input:0 ~output:o)
+      done;
+      print_newline ())
+    pts
+
+let run_dc net outputs =
+  (* the DC point ignores every differential term (d^α x = 0 in steady
+     state for all α), so any netlist — fractional included — reduces
+     to the algebraic part of the general stamp *)
+  let mt, srcs = Mna.stamp ?outputs net in
+  let n = Multi_term.order mt in
+  let sys =
+    Descriptor.make ~state_names:mt.Multi_term.state_names
+      ~output_names:mt.Multi_term.output_names
+      ~e:(Opm_sparse.Csr.zero ~rows:n ~cols:n)
+      ~a:mt.Multi_term.a ~b:mt.Multi_term.b ~c:mt.Multi_term.c ()
+  in
+  let u0 = Array.map (fun s -> Opm_signal.Source.eval s 0.0) srcs in
+  let y = Dc.outputs_at sys ~u0 in
+  Array.iteri
+    (fun i name -> Printf.printf "%s = %.9g\n" name y.(i))
+    sys.Descriptor.output_names
+
+let pp_pole z =
+  if Float.abs z.Complex.im < 1e-9 *. Float.abs z.Complex.re then
+    Printf.printf "  %.6g\n" z.Complex.re
+  else Printf.printf "  %.6g %+.6gi\n" z.Complex.re z.Complex.im
+
+let run_poles net =
+  match Mna.stamp_fractional net with
+  | Some (sys, alpha, _) ->
+      (* fractional pencil: the eigenvalues live in the s^α plane;
+         stability by Matignon's angle criterion *)
+      let poles = Poles.of_descriptor ~shift:(-1.0) sys in
+      Printf.printf "%d finite pole(s) of the order-%g pencil (λ = s^%g):\n"
+        (Array.length poles) alpha alpha;
+      Array.iter pp_pole poles;
+      let stable =
+        Array.for_all (Poles.fractional_stability_angle ~alpha) poles
+      in
+      Printf.printf "stable (Matignon, |arg λ| > %gπ/2): %b\n" alpha stable
+  | None ->
+      let sys, _ = Mna.stamp_linear net in
+      let poles = Poles.of_descriptor ~shift:(-1.0) sys in
+      Printf.printf "%d finite pole(s):\n" (Array.length poles);
+      Array.iter pp_pole poles;
+      Printf.printf "stable: %b\n" (Poles.is_stable ~shift:(-1.0) sys)
+
+let run netlist_path mode t_end steps method_ probes tol fstart fstop points =
+  try
+    let net = Parser.parse_file netlist_path in
+    let outputs =
+      match probes with
+      | [] -> None
+      | ps -> Some (List.map (fun p -> Mna.Node_voltage p) ps)
+    in
+    (match mode with
+    | Tran -> run_tran net outputs t_end steps method_ tol
+    | Ac_mode -> run_ac net outputs fstart fstop points
+    | Dc_mode -> run_dc net outputs
+    | Poles_mode -> run_poles net);
+    0
+  with
+  | Parser.Parse_error { line; message } ->
+      Printf.eprintf "%s:%d: %s\n" netlist_path line message;
+      1
+  | Invalid_argument m | Failure m ->
+      Printf.eprintf "error: %s\n" m;
+      1
+  | Opm_numkit.Lu.Singular _ | Opm_sparse.Slu.Singular _ ->
+      Printf.eprintf
+        "error: singular system matrix — the exact method needs an \
+         invertible E (no voltage sources / algebraic constraints), and \
+         DC needs a unique operating point\n";
+      1
+
+let cmd =
+  let doc = "operational-matrix circuit simulator" in
+  let info = Cmd.info "opm_sim" ~version:"1.0.0" ~doc in
+  Cmd.v info
+    Term.(
+      const run $ netlist_arg $ mode_arg $ t_end_arg $ steps_arg $ method_arg
+      $ probes_arg $ tol_arg $ fstart_arg $ fstop_arg $ points_arg)
+
+let () =
+  Logs.set_reporter (Logs.format_reporter ());
+  exit (Cmd.eval' cmd)

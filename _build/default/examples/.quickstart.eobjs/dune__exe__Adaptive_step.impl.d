@@ -1,0 +1,1 @@
+examples/adaptive_step.ml: Adaptive Array Error Float Generators Grid List Mna Opm Opm_basis Opm_circuit Opm_core Opm_signal Printf Sim_result Source

@@ -1,0 +1,1 @@
+examples/basis_tour.ml: Array Block_pulse Error Generators Grid Haar Mat Mna Opm Opm_basis Opm_circuit Opm_core Opm_numkit Opm_signal Printf Sim_result Source Walsh

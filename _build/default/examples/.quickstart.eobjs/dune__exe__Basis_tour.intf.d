@@ -1,0 +1,1 @@
+examples/basis_tour.mli:

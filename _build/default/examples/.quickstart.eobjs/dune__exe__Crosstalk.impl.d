@@ -1,0 +1,1 @@
+examples/crosstalk.ml: Coupled_lines Grid List Measure Mna Opm Opm_basis Opm_circuit Opm_core Opm_signal Printf Sim_result

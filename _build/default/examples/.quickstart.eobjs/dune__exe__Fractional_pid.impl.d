@@ -1,0 +1,1 @@
+examples/fractional_pid.ml: Coo Csr Grid List Mat Measure Multi_term Opm Opm_basis Opm_core Opm_numkit Opm_signal Opm_sparse Printf Sim_result Source String

@@ -1,0 +1,1 @@
+examples/fractional_pid.mli:

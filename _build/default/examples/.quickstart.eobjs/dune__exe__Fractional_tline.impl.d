@@ -1,0 +1,1 @@
+examples/fractional_tline.ml: Array Error Freq_domain Grid Opm Opm_basis Opm_circuit Opm_core Opm_signal Opm_transient Printf Sim_result Tline

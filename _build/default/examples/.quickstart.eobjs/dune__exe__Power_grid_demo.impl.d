@@ -1,0 +1,1 @@
+examples/power_grid_demo.ml: Array Error Grid Mna Na2 Opm Opm_basis Opm_circuit Opm_core Opm_signal Opm_transient Power_grid Printf Sim_result Stepper

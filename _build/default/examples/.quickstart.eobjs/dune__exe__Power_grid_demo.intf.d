@@ -1,0 +1,1 @@
+examples/power_grid_demo.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Error Grid Mna Opm Opm_basis Opm_circuit Opm_core Opm_signal Parser Printf Sim_result Waveform

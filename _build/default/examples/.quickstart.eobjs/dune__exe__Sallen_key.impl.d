@@ -1,0 +1,1 @@
+examples/sallen_key.ml: Ac Complex Float Grid List Measure Mna Opm Opm_analysis Opm_basis Opm_circuit Opm_core Opm_numkit Opm_signal Parser Printf Sim_result

@@ -1,0 +1,1 @@
+examples/sallen_key.mli:

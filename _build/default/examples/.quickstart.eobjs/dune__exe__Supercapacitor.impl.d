@@ -1,0 +1,1 @@
+examples/supercapacitor.ml: Array Error Generators Grid Grunwald Mna Opm Opm_basis Opm_circuit Opm_core Opm_numkit Opm_signal Opm_transient Printf Sim_result Source Special Waveform

@@ -1,0 +1,64 @@
+(* Crosstalk between coupled interconnect lines.
+
+   A rising aggressor couples charge into a quiet victim line through
+   the inter-wire capacitance; the victim sees a transient glitch whose
+   peak is first-order bounded by the capacitive divider cc/(cc+cg).
+   The example simulates the pair with OPM, measures the glitch, and
+   shows the classic mitigation trade-off: more coupling → bigger
+   glitch; stronger victim driver → smaller glitch.
+
+   Run with:  dune exec examples/crosstalk.exe *)
+
+open Opm_basis
+open Opm_signal
+open Opm_core
+open Opm_circuit
+
+let glitch spec =
+  let net = Coupled_lines.generate spec in
+  let sys, srcs =
+    Mna.stamp_linear
+      ~outputs:
+        [
+          Mna.Node_voltage (Coupled_lines.victim_far_node spec);
+          Mna.Node_voltage (Coupled_lines.aggressor_far_node spec);
+        ]
+      net
+  in
+  let t_end = 2e-9 in
+  let r = Opm.simulate_linear ~grid:(Grid.uniform ~t_end ~m:2000) sys srcs in
+  let w = r.Sim_result.outputs in
+  let _, peak = Measure.peak w ~channel:0 in
+  (peak, w)
+
+let () =
+  let spec = Coupled_lines.default_spec in
+  let peak, w = glitch spec in
+  Printf.printf
+    "baseline: %d sections, cc/(cc+cg) divider bound = %.2f V\n"
+    spec.Coupled_lines.sections
+    (spec.Coupled_lines.cc /. (spec.Coupled_lines.cc +. spec.Coupled_lines.c_seg));
+  Printf.printf "victim glitch peak: %.4f V; aggressor settles to %.3f V\n\n"
+    peak
+    (Measure.final_value w ~channel:1);
+
+  print_endline "coupling sweep (cc per section):";
+  Printf.printf "  %-12s %12s\n" "cc (fF)" "glitch (V)";
+  List.iter
+    (fun cc_ff ->
+      let p, _ = glitch { spec with Coupled_lines.cc = cc_ff *. 1e-15 } in
+      Printf.printf "  %-12g %12.4f\n" cc_ff p)
+    [ 5.0; 15.0; 30.0; 60.0; 120.0 ];
+
+  print_endline "\nvictim holder strength sweep (aggressor driver fixed):";
+  Printf.printf "  %-12s %12s\n" "r_drv_v (Ω)" "glitch (V)";
+  List.iter
+    (fun r_drv_victim ->
+      let p, _ = glitch { spec with Coupled_lines.r_drv_victim } in
+      Printf.printf "  %-12g %12.4f\n" r_drv_victim p)
+    [ 25.0; 50.0; 100.0; 200.0; 400.0 ];
+
+  print_endline
+    "\nthe glitch grows with coupling and with weaker drivers — the\n\
+     standard crosstalk picture, produced here by the OPM engine on the\n\
+     MNA-stamped coupled system."

@@ -1,0 +1,78 @@
+(* Fractional-order PI^λ control loop — the "controller design"
+   application area the paper's introduction motivates FDEs with.
+
+   Plant:      τ ẏ = −y + K·u_c          (first-order lag)
+   Controller: u_c = Kp·e + Ki·I^λ e,    e = r − y
+   The fractional integrator state w = I^λ e turns the closed loop into
+   the two-term FDE
+
+     τ ẏ          = −(1 + K·Kp)·y + K·Ki·w + K·Kp·r
+     d^λ w / dt^λ = −y + r
+
+   which Opm.simulate_multi_term solves directly — one run per λ shows
+   how the fractional integral action trades overshoot against settling.
+
+   Run with:  dune exec examples/fractional_pid.exe *)
+
+open Opm_numkit
+open Opm_sparse
+open Opm_basis
+open Opm_signal
+open Opm_core
+
+let closed_loop ~tau ~k ~kp ~ki ~lambda =
+  let e1 = Coo.create ~rows:2 ~cols:2 in
+  Coo.add e1 0 0 tau;
+  let el = Coo.create ~rows:2 ~cols:2 in
+  Coo.add el 1 1 1.0;
+  let a =
+    Mat.of_arrays [| [| -.(1.0 +. (k *. kp)); k *. ki |]; [| -1.0; 0.0 |] |]
+  in
+  let b = Mat.of_arrays [| [| k *. kp |]; [| 1.0 |] |] in
+  let c = Mat.of_arrays [| [| 1.0; 0.0 |] |] in
+  Multi_term.make
+    ~state_names:[| "y"; "w" |]
+    ~output_names:[| "y" |]
+    ~terms:[ (Coo.to_csr e1, 1.0); (Coo.to_csr el, lambda) ]
+    ~a:(Csr.of_dense a) ~b ~c ()
+
+let () =
+  let tau = 0.5 and k = 2.0 in
+  let kp = 1.0 and ki = 2.0 in
+  let t_end = 8.0 in
+  let grid = Grid.uniform ~t_end ~m:1200 in
+  let reference_input = [| Source.Step { amplitude = 1.0; delay = 0.0 } |] in
+  Printf.printf
+    "plant τ=%.2g K=%.2g; controller Kp=%.2g Ki=%.2g; unit step reference\n\n"
+    tau k kp ki;
+  Printf.printf "%-8s %12s %12s %14s %16s\n" "λ" "overshoot" "rise time"
+    "settling (2%)" "final value";
+  print_endline (String.make 68 '-');
+  List.iter
+    (fun lambda ->
+      let sys = closed_loop ~tau ~k ~kp ~ki ~lambda in
+      let r = Opm.simulate_multi_term ~grid sys reference_input in
+      let w = r.Sim_result.outputs in
+      let overshoot = Measure.overshoot w ~channel:0 in
+      let rise = Measure.rise_time w ~channel:0 in
+      let settle =
+        try Printf.sprintf "%10.3f s" (Measure.settling_time w ~channel:0)
+        with Not_found -> "   (not settled)"
+      in
+      Printf.printf "%-8.2g %11.1f%% %10.3f s %14s %16.4f\n" lambda
+        (100.0 *. overshoot) rise settle
+        (Measure.final_value w ~channel:0))
+    [ 0.5; 0.7; 0.9; 1.0; 1.2 ];
+  print_endline
+    "\nfractional integral action (λ < 1) still removes the steady-state\n\
+     error but with heavier-tailed memory: slower final creep, less\n\
+     ringing; λ > 1 rings more. The closed loop is a genuine two-term\n\
+     FDE — no classical transient method simulates it directly.";
+  (* sanity: the λ = 1 loop is an ordinary PI loop with zero
+     steady-state error *)
+  let r1 =
+    Opm.simulate_multi_term ~grid (closed_loop ~tau ~k ~kp ~ki ~lambda:1.0)
+      reference_input
+  in
+  Printf.printf "\nλ = 1 sanity: final value %.6f (exact 1.0)\n"
+    (Measure.final_value r1.Sim_result.outputs ~channel:0)

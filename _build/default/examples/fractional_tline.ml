@@ -1,0 +1,53 @@
+(* Fractional transmission line — the paper's Table I scenario.
+
+   A 7-state, 2-port half-order descriptor model is simulated over
+   [0, 2.7 ns) with m = 8 block pulses (exactly the paper's setup), and
+   compared against the frequency-domain FFT method with 8 and 100
+   samples (the paper's FFT-1 / FFT-2).
+
+   Run with:  dune exec examples/fractional_tline.exe *)
+
+open Opm_basis
+open Opm_signal
+open Opm_core
+open Opm_circuit
+open Opm_transient
+
+let () =
+  let sys = Tline.model () in
+  let sources = Tline.inputs () in
+  let t_end = Tline.t_end and alpha = Tline.alpha in
+
+  (* OPM with the paper's m = 8 *)
+  let grid = Grid.uniform ~t_end ~m:8 in
+  let opm = Opm.simulate_fractional ~grid ~alpha sys sources in
+
+  (* the two FFT baselines *)
+  let fft1 = Freq_domain.solve ~n_samples:8 ~alpha ~t_end sys sources in
+  let fft2 = Freq_domain.solve ~n_samples:100 ~alpha ~t_end sys sources in
+
+  Printf.printf "port-1 response (OPM, m = 8, α = %g):\n" alpha;
+  let y = Sim_result.output opm 0 in
+  Array.iteri
+    (fun i t -> Printf.printf "  t = %8.3g s   y = %10.6f\n" t y.(i))
+    (Grid.midpoints grid);
+
+  (* the paper's eq. (30): FFT measured against OPM *)
+  let err name w =
+    Printf.printf "  %-8s vs OPM: %6.1f dB\n" name
+      (Error.waveform_error_db ~reference:opm.Sim_result.outputs w)
+  in
+  print_endline "\nrelative error (eq. 30), reference = OPM:";
+  err "FFT-1" fft1;
+  err "FFT-2" fft2;
+
+  (* a fine-grid OPM run as an independent accuracy yardstick *)
+  let fine = Opm.simulate_fractional ~grid:(Grid.uniform ~t_end ~m:512) ~alpha sys sources in
+  print_endline "\nagainst a fine OPM reference (m = 512):";
+  Printf.printf "  %-8s        %6.1f dB\n" "OPM-8"
+    (Error.waveform_error_db ~reference:fine.Sim_result.outputs
+       opm.Sim_result.outputs);
+  Printf.printf "  %-8s        %6.1f dB\n" "FFT-1"
+    (Error.waveform_error_db ~reference:fine.Sim_result.outputs fft1);
+  Printf.printf "  %-8s        %6.1f dB\n" "FFT-2"
+    (Error.waveform_error_db ~reference:fine.Sim_result.outputs fft2)

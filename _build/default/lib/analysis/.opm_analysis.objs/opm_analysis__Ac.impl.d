@@ -1,0 +1,1 @@
+lib/analysis/ac.ml: Array Buffer Cmat Complex Csr Descriptor Float List Mat Opm_core Opm_numkit Opm_sparse Printf

@@ -1,0 +1,1 @@
+lib/analysis/ac.mli: Cmat Descriptor Opm_core Opm_numkit

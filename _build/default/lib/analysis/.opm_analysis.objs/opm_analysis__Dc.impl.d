@@ -1,0 +1,1 @@
+lib/analysis/dc.ml: Array Descriptor Mat Opm_core Opm_numkit Opm_sparse Slu Vec

@@ -1,0 +1,1 @@
+lib/analysis/dc.mli: Descriptor Mat Opm_core Opm_numkit Vec

@@ -1,0 +1,1 @@
+lib/analysis/poles.ml: Array Complex Descriptor Eig Float List Lu Mat Opm_core Opm_numkit

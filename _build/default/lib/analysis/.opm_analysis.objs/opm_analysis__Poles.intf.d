@@ -1,0 +1,1 @@
+lib/analysis/poles.mli: Complex Descriptor Opm_core

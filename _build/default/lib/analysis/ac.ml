@@ -1,0 +1,63 @@
+open Opm_numkit
+open Opm_sparse
+open Opm_core
+
+type point = { omega : float; response : Cmat.t }
+
+let transfer ?(alpha = 1.0) (sys : Descriptor.t) omega =
+  let n = Descriptor.order sys in
+  let p = Descriptor.input_count sys in
+  let q = Descriptor.output_count sys in
+  let e = Cmat.of_real (Csr.to_dense sys.Descriptor.e) in
+  let a = Cmat.of_real (Csr.to_dense sys.Descriptor.a) in
+  let s_alpha = Cmat.jomega_alpha omega alpha in
+  let pencil = Cmat.sub (Cmat.scale s_alpha e) a in
+  let factor = Cmat.factor pencil in
+  let g = Cmat.zeros q p in
+  for j = 0 to p - 1 do
+    let bj =
+      Array.init n (fun r ->
+          { Complex.re = Mat.get sys.Descriptor.b r j; im = 0.0 })
+    in
+    let xj = Cmat.solve_factored factor bj in
+    for i = 0 to q - 1 do
+      let acc = ref Complex.zero in
+      for r = 0 to n - 1 do
+        acc :=
+          Complex.add !acc
+            (Complex.mul
+               { Complex.re = Mat.get sys.Descriptor.c i r; im = 0.0 }
+               xj.(r))
+      done;
+      Cmat.set g i j !acc
+    done
+  done;
+  g
+
+let sweep ?alpha ~omega_min ~omega_max ~points sys =
+  if points < 2 then invalid_arg "Ac.sweep: points < 2";
+  if omega_min <= 0.0 || omega_max <= omega_min then
+    invalid_arg "Ac.sweep: need 0 < omega_min < omega_max";
+  let log_min = log10 omega_min and log_max = log10 omega_max in
+  List.init points (fun k ->
+      let frac = float_of_int k /. float_of_int (points - 1) in
+      let omega = 10.0 ** (log_min +. (frac *. (log_max -. log_min))) in
+      { omega; response = transfer ?alpha sys omega })
+
+let gain_db pt ~input ~output =
+  20.0 *. log10 (Complex.norm (Cmat.get pt.response output input))
+
+let phase_deg pt ~input ~output =
+  Complex.arg (Cmat.get pt.response output input) *. 180.0 /. Float.pi
+
+let bode_csv ~input ~output pts =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "omega,gain_db,phase_deg\n";
+  List.iter
+    (fun pt ->
+      Buffer.add_string buf
+        (Printf.sprintf "%.9g,%.9g,%.9g\n" pt.omega
+           (gain_db pt ~input ~output)
+           (phase_deg pt ~input ~output)))
+    pts;
+  Buffer.contents buf

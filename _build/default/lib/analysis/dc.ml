@@ -1,0 +1,24 @@
+open Opm_numkit
+open Opm_sparse
+open Opm_core
+
+let operating_point (sys : Descriptor.t) ~u0 =
+  let p = Descriptor.input_count sys in
+  if Array.length u0 <> p then invalid_arg "Dc.operating_point: u0 size";
+  let rhs = Vec.scale (-1.0) (Mat.mul_vec sys.Descriptor.b u0) in
+  Slu.solve_dense sys.Descriptor.a rhs
+
+let outputs_at sys ~u0 =
+  Mat.mul_vec sys.Descriptor.c (operating_point sys ~u0)
+
+let dc_gain (sys : Descriptor.t) =
+  let p = Descriptor.input_count sys in
+  let q = Descriptor.output_count sys in
+  let f = Slu.factor sys.Descriptor.a in
+  let g = Mat.zeros q p in
+  for j = 0 to p - 1 do
+    let bj = Array.init (Descriptor.order sys) (fun r -> Mat.get sys.Descriptor.b r j) in
+    let xj = Vec.scale (-1.0) (Slu.solve f bj) in
+    Mat.set_col g j (Mat.mul_vec sys.Descriptor.c xj)
+  done;
+  g

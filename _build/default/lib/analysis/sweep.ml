@@ -1,0 +1,70 @@
+let run evaluate values = Array.map (fun v -> (v, evaluate v)) values
+
+let extreme name better pairs =
+  if Array.length pairs = 0 then invalid_arg ("Sweep." ^ name ^ ": empty sweep");
+  Array.fold_left
+    (fun (bv, bm) (v, m) -> if better m bm then (v, m) else (bv, bm))
+    pairs.(0) pairs
+
+let argmin pairs = extreme "argmin" ( < ) pairs
+
+let argmax pairs = extreme "argmax" ( > ) pairs
+
+type stats = {
+  samples : int;
+  mean : float;
+  std : float;
+  min : float;
+  max : float;
+  q05 : float;
+  median : float;
+  q95 : float;
+}
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  let rank = p *. float_of_int (n - 1) in
+  let lo = int_of_float (floor rank) in
+  let hi = min (n - 1) (lo + 1) in
+  let frac = rank -. float_of_int lo in
+  sorted.(lo) +. (frac *. (sorted.(hi) -. sorted.(lo)))
+
+let statistics values =
+  let n = Array.length values in
+  if n = 0 then invalid_arg "Sweep.statistics: empty array";
+  let mean = Array.fold_left ( +. ) 0.0 values /. float_of_int n in
+  let var =
+    if n = 1 then 0.0
+    else
+      Array.fold_left (fun acc v -> acc +. ((v -. mean) ** 2.0)) 0.0 values
+      /. float_of_int (n - 1)
+  in
+  let sorted = Array.copy values in
+  Array.sort compare sorted;
+  {
+    samples = n;
+    mean;
+    std = sqrt var;
+    min = sorted.(0);
+    max = sorted.(n - 1);
+    q05 = percentile sorted 0.05;
+    median = percentile sorted 0.5;
+    q95 = percentile sorted 0.95;
+  }
+
+let monte_carlo ?(seed = 42) ~samples ~sampler evaluate =
+  if samples < 1 then invalid_arg "Sweep.monte_carlo: samples < 1";
+  let st = Random.State.make [| seed |] in
+  let values =
+    Array.init samples (fun _ -> evaluate (sampler st))
+  in
+  statistics values
+
+let uniform ~lo ~hi st =
+  if hi < lo then invalid_arg "Sweep.uniform: hi < lo";
+  lo +. Random.State.float st (hi -. lo)
+
+let gaussian ~mean ~std st =
+  let u1 = Float.max 1e-300 (Random.State.float st 1.0) in
+  let u2 = Random.State.float st 1.0 in
+  mean +. (std *. sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2))

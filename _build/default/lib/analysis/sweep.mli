@@ -1,0 +1,43 @@
+(** Parameter studies: deterministic sweeps and Monte-Carlo sampling
+    over any [parameter → measurement] evaluation (typically: build a
+    netlist with the parameter, stamp, simulate, measure).
+
+    Everything is deterministic: Monte-Carlo uses an explicit seed, so
+    corner reports are reproducible. *)
+
+val run : ('a -> float) -> 'a array -> ('a * float) array
+(** Evaluate at each parameter value, in order. *)
+
+val argmin : ('a * float) array -> 'a * float
+(** Raises [Invalid_argument] on an empty sweep. *)
+
+val argmax : ('a * float) array -> 'a * float
+
+type stats = {
+  samples : int;
+  mean : float;
+  std : float;  (** sample standard deviation (n − 1 denominator) *)
+  min : float;
+  max : float;
+  q05 : float;  (** 5th percentile (linear interpolation) *)
+  median : float;
+  q95 : float;
+}
+
+val statistics : float array -> stats
+(** Raises [Invalid_argument] on an empty array. *)
+
+val monte_carlo :
+  ?seed:int ->
+  samples:int ->
+  sampler:(Random.State.t -> 'a) ->
+  ('a -> float) ->
+  stats
+(** Draw [samples] parameters from [sampler] (seeded, default 42),
+    evaluate, and summarise. *)
+
+val uniform : lo:float -> hi:float -> Random.State.t -> float
+(** Convenience samplers for {!monte_carlo}. *)
+
+val gaussian : mean:float -> std:float -> Random.State.t -> float
+(** Box–Muller. *)

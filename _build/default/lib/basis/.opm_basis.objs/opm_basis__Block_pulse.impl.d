@@ -1,0 +1,1 @@
+lib/basis/block_pulse.ml: Array Float Grid Mat Opm_numkit Opm_signal Series Tri

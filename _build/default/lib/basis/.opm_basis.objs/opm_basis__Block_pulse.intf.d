@@ -1,0 +1,1 @@
+lib/basis/block_pulse.mli: Grid Mat Opm_numkit Opm_signal Vec

@@ -1,0 +1,1 @@
+lib/basis/grid.mli:

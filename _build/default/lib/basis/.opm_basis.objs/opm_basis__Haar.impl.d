@@ -1,0 +1,1 @@
+lib/basis/haar.ml: Array Block_pulse Float Grid Mat Opm_numkit Printf

@@ -1,0 +1,1 @@
+lib/basis/haar.mli: Grid Mat Opm_numkit Vec

@@ -1,0 +1,1 @@
+lib/basis/laguerre.ml: Array Mat Opm_numkit Option Poly

@@ -1,0 +1,1 @@
+lib/basis/laguerre.mli: Mat Opm_numkit Poly Vec

@@ -1,0 +1,1 @@
+lib/basis/legendre.ml: Array Mat Opm_numkit Poly

@@ -1,0 +1,1 @@
+lib/basis/legendre.mli: Mat Opm_numkit Poly Vec

@@ -1,0 +1,1 @@
+lib/basis/walsh.ml: Array Block_pulse Fun Grid Mat Opm_numkit Printf Vec

@@ -1,0 +1,1 @@
+lib/basis/walsh.mli: Grid Mat Opm_numkit Vec

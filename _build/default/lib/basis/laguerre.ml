@@ -1,0 +1,90 @@
+open Opm_numkit
+
+let polynomial n =
+  if n < 0 then invalid_arg "Laguerre.polynomial: negative order";
+  (* (i+1) L_{i+1} = (2i+1 − t) L_i − i L_{i−1} *)
+  let rec go i li li1 =
+    if i = n then li
+    else
+      let fi = float_of_int i in
+      let next =
+        Poly.scale
+          (1.0 /. (fi +. 1.0))
+          (Poly.add
+             (Poly.mul [| (2.0 *. fi) +. 1.0; -1.0 |] li)
+             (Poly.scale (-.fi) li1))
+      in
+      go (i + 1) next li
+  in
+  if n = 0 then [| 1.0 |] else go 1 [| 1.0; -1.0 |] [| 1.0 |]
+
+let eval ~scale i t =
+  if scale <= 0.0 then invalid_arg "Laguerre.eval: scale <= 0";
+  let u = 2.0 *. scale *. t in
+  sqrt (2.0 *. scale) *. Poly.eval (polynomial i) u *. exp (-.scale *. t)
+
+(* antiderivative of q(u)·e^{−u/2} in the same form:
+   d/du (p·e^{−u/2}) = (p' − p/2)·e^{−u/2} = q·e^{−u/2}
+   ⇒ p = −2q + 2p', reached by iterating from p = −2q *)
+let exp_antiderivative q =
+  let rec fix p k =
+    if k = 0 then p
+    else fix (Poly.add (Poly.scale (-2.0) q) (Poly.scale 2.0 (Poly.derive p))) (k - 1)
+  in
+  fix (Poly.scale (-2.0) q) (Array.length q + 1)
+
+(* ∫₀^∞ poly(u)·e^{−u} du = Σ_k c_k · k! *)
+let weighted_moment p =
+  let acc = ref 0.0 and fact = ref 1.0 in
+  Array.iteri
+    (fun k c ->
+      if k > 0 then fact := !fact *. float_of_int k;
+      acc := !acc +. (c *. !fact))
+    p;
+  !acc
+
+(* ∫₀^∞ L_j(u)·e^{−u/2} du = 2·(−1)^j *)
+let half_weight_moment j = if j land 1 = 0 then 2.0 else -2.0
+
+let differential_matrix ~scale ~m =
+  if scale <= 0.0 || m <= 0 then invalid_arg "Laguerre.differential_matrix";
+  Mat.init m m (fun i j ->
+      if j = i then -.scale
+      else if j < i then -2.0 *. scale
+      else 0.0)
+
+let integral_matrix ~scale ~m =
+  if scale <= 0.0 || m <= 0 then invalid_arg "Laguerre.integral_matrix";
+  (* work in u = 2pt coordinates where the basis is L_i(u)e^{−u/2};
+     ∫₀ᵗ φ_i dτ = (1/2p)·∫₀ᵘ L_i(v)e^{−v/2} dv
+                = (1/2p)·(a_i(u)e^{−u/2} − a_i(0)) with a_i from
+     exp_antiderivative; expand back:
+     coefficient on φ_j: ∫₀^∞ (…)·L_j e^{−u/2} du
+                = ∫ a_i L_j e^{−u} − a_i(0)·2(−1)^j *)
+  Mat.init m m (fun i j ->
+      let a_i = exp_antiderivative (polynomial i) in
+      let product = weighted_moment (Poly.mul a_i (polynomial j)) in
+      let tail = Poly.eval a_i 0.0 *. half_weight_moment j in
+      (product -. tail) /. (2.0 *. scale))
+
+let project ?t_max ~scale ~m f =
+  if scale <= 0.0 || m <= 0 then invalid_arg "Laguerre.project";
+  let t_max = Option.value t_max ~default:(40.0 /. (2.0 *. scale)) in
+  let panels = 4096 in
+  let h = t_max /. float_of_int panels in
+  Array.init m (fun i ->
+      let g t = f t *. eval ~scale i t in
+      let sum = ref (g 0.0 +. g t_max) in
+      for k = 1 to panels - 1 do
+        let w = if k land 1 = 1 then 4.0 else 2.0 in
+        sum := !sum +. (w *. g (float_of_int k *. h))
+      done;
+      !sum *. h /. 3.0)
+
+let reconstruct ~scale ~m c t =
+  if Array.length c <> m then invalid_arg "Laguerre.reconstruct";
+  let acc = ref 0.0 in
+  for i = 0 to m - 1 do
+    acc := !acc +. (c.(i) *. eval ~scale i t)
+  done;
+  !acc

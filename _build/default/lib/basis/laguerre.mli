@@ -1,0 +1,52 @@
+open Opm_numkit
+
+(** Laguerre-function basis (the last of the paper's §I alternative
+    bases).
+
+    The Laguerre functions [φ_i(t) = √(2p) · L_i(2pt) · e^{−pt}] are
+    orthonormal on the *semi-infinite* axis [[0, ∞)] — the natural basis
+    for decaying transients without a fixed simulation horizon. [p > 0]
+    is the time-scale parameter; responses whose time constants are
+    near [1/(2p)] need the fewest coefficients.
+
+    The integration operational matrix is computed exactly from the
+    Laguerre polynomial algebra (antiderivatives of [poly·e^{−t/2}] stay
+    in that form; the leftover constant re-expands with the known
+    moments [∫₀^∞ L_j e^{−t/2} dt = 2(−1)^j]).
+
+    This module provides Laguerre functions as an *analysis* basis
+    (projection, reconstruction, exact differentiation). Building an
+    OPM-style solver on it is deliberately out of scope: the
+    differential matrix is lower triangular, so the column solve runs
+    backwards and amplifies the homogeneous modes catastrophically (we
+    measured [10^20] blow-up at [m = 32]), and the integral form needs
+    the expansion of the constant, which is not square-integrable on
+    [[0, ∞)]. Stabilising either needs extra machinery (e.g. tau
+    methods) beyond the paper's scope. *)
+
+val polynomial : int -> Poly.t
+(** The Laguerre polynomial [L_i] from the three-term recurrence. *)
+
+val eval : scale:float -> int -> float -> float
+(** [eval ~scale i t] is the orthonormal basis function [φ_i(t)]. *)
+
+val project : ?t_max:float -> scale:float -> m:int -> (float -> float) -> Vec.t
+(** Projection coefficients [c_i = ∫₀^∞ f φ_i] (the basis is
+    orthonormal) by composite Simpson truncated at [t_max] (default
+    [40/(2p)], where the weight has decayed to [e^{−20}]). *)
+
+val reconstruct : scale:float -> m:int -> Vec.t -> float -> float
+
+val differential_matrix : scale:float -> m:int -> Mat.t
+(** [D] with [dφ_i/dt = Σ_j D_{ij} φ_j] — *exact* and lower triangular:
+    [D_{ii} = −p], [D_{ij} = −2p] for [j < i] (from
+    [L_i' = −Σ_{k<i} L_k]). The Laguerre mirror image of the BPF
+    situation: here differentiation is the structured operator and
+    integration the approximate one. *)
+
+val integral_matrix : scale:float -> m:int -> Mat.t
+(** [P] with [∫₀ᵗ φ_i ≈ Σ_j P_{ij} φ_j]: the [L²]-optimal projection of
+    the integral. Exact whenever the integral decays (zero constant
+    tail, e.g. [∫(φ_0 + φ_1)]); when the integral tends to a nonzero
+    constant the row converges only in the [L²] (weak) sense, because
+    constants are not square-integrable on [[0, ∞)]. *)

@@ -1,0 +1,43 @@
+open Opm_numkit
+
+let basis ~t_end ~m =
+  if m <= 0 || t_end <= 0.0 then invalid_arg "Legendre.basis: bad arguments";
+  Array.init m (fun i ->
+      (* compose shifted Legendre on [0,1] with t/t_end *)
+      let p = Poly.shifted_legendre i in
+      Array.mapi (fun k c -> c /. (t_end ** float_of_int k)) p)
+
+let inner ~t_end p q =
+  (* ∫_0^T p q dt, exact *)
+  Poly.definite_integral (Poly.mul p q) 0.0 t_end
+
+let sq_norm ~t_end i = t_end /. ((2.0 *. float_of_int i) +. 1.0)
+
+let project ~t_end ~m f =
+  let b = basis ~t_end ~m in
+  Array.init m (fun i ->
+      (* composite Simpson over [0, t_end] of f·SL_i *)
+      let g t = f t *. Poly.eval b.(i) t in
+      let panels = 256 in
+      let h = t_end /. float_of_int panels in
+      let sum = ref (g 0.0 +. g t_end) in
+      for k = 1 to panels - 1 do
+        let w = if k land 1 = 1 then 4.0 else 2.0 in
+        sum := !sum +. (w *. g (float_of_int k *. h))
+      done;
+      let integral = !sum *. h /. 3.0 in
+      integral /. sq_norm ~t_end i)
+
+let reconstruct ~t_end ~m c t =
+  let b = basis ~t_end ~m in
+  let s = ref 0.0 in
+  for i = 0 to m - 1 do
+    s := !s +. (c.(i) *. Poly.eval b.(i) t)
+  done;
+  !s
+
+let integral_matrix ~t_end ~m =
+  let b = basis ~t_end ~m in
+  Mat.init m m (fun i j ->
+      let anti = Poly.integrate b.(i) in
+      inner ~t_end anti b.(j) /. sq_norm ~t_end j)

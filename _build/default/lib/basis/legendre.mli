@@ -1,0 +1,28 @@
+open Opm_numkit
+
+(** Shifted Legendre polynomial basis (listed among the paper's
+    alternative bases, §I).
+
+    The shifted Legendre polynomials [SL_i(t) = P_i(2t/T − 1)] are
+    orthogonal on [[0, T)] with [∫ SL_i SL_j = T δ_ij/(2i+1)].
+    Integration maps polynomials to polynomials, so its operational
+    matrix is computed *exactly* from the polynomial algebra in
+    {!Opm_numkit.Poly}. Unlike BPF/Walsh/Haar there is no exact
+    differentiation matrix acting within a fixed degree bound (the
+    integration matrix is singular), so this module provides the
+    integration operator and projections — the classical
+    "integrated-form" OPM variant. *)
+
+val basis : t_end:float -> m:int -> Poly.t array
+(** The [m] polynomials [SL_0 … SL_{m−1}] on [[0, t_end)]. *)
+
+val project : t_end:float -> m:int -> (float -> float) -> Vec.t
+(** Orthogonal projection coefficients via Gauss–Legendre-free exact
+    formula for polynomial inputs and composite Simpson otherwise. *)
+
+val reconstruct : t_end:float -> m:int -> Vec.t -> float -> float
+
+val integral_matrix : t_end:float -> m:int -> Mat.t
+(** [P] with [∫₀ᵗ SL_i = Σ_j P_{ij} SL_j(t)] exactly for [j < m]
+    (the degree-[m] tail of [∫ SL_{m−1}] is orthogonally projected
+    out). *)

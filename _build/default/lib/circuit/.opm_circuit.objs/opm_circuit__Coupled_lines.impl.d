@@ -1,0 +1,1 @@
+lib/circuit/coupled_lines.ml: Netlist Opm_signal Printf Source

@@ -1,0 +1,1 @@
+lib/circuit/coupled_lines.mli: Netlist Opm_signal Source

@@ -1,0 +1,1 @@
+lib/circuit/mna.ml: Array Coo Csr Descriptor Hashtbl List Mat Multi_term Netlist Opm_core Opm_numkit Opm_sparse Printf

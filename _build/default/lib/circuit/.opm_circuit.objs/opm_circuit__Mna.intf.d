@@ -1,0 +1,1 @@
+lib/circuit/mna.mli: Descriptor Multi_term Netlist Opm_core Opm_signal

@@ -1,0 +1,1 @@
+lib/circuit/na2.ml: Array Coo List Mat Mna Multi_term Netlist Opm_core Opm_numkit Opm_sparse Printf

@@ -1,0 +1,1 @@
+lib/circuit/na2.mli: Mna Multi_term Netlist Opm_core Opm_signal

@@ -1,0 +1,1 @@
+lib/circuit/netlist.ml: Array Float Hashtbl List Opm_signal Printf Source String

@@ -1,0 +1,1 @@
+lib/circuit/parser.ml: Buffer Char Float List Netlist Opm_signal Printf Source String

@@ -1,0 +1,1 @@
+lib/circuit/power_grid.ml: Float Netlist Opm_signal Printf Source

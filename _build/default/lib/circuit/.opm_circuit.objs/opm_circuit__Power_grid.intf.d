@@ -1,0 +1,1 @@
+lib/circuit/power_grid.mli: Netlist Opm_signal Source

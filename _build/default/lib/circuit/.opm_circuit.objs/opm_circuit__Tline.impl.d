@@ -1,0 +1,1 @@
+lib/circuit/tline.ml: Array Descriptor Mat Opm_core Opm_numkit Opm_signal Printf Source

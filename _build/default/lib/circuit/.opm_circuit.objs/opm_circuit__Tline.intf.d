@@ -1,0 +1,1 @@
+lib/circuit/tline.mli: Descriptor Opm_core Opm_signal Source

@@ -1,0 +1,61 @@
+open Opm_signal
+
+type spec = {
+  sections : int;
+  r_seg : float;
+  c_seg : float;
+  cc : float;
+  r_drv : float;
+  r_drv_victim : float;
+  c_load : float;
+  aggressor : Source.t;
+}
+
+let default_spec =
+  {
+    sections = 8;
+    r_seg = 50.0;
+    c_seg = 20e-15;
+    cc = 30e-15;
+    r_drv = 100.0;
+    r_drv_victim = 100.0;
+    c_load = 10e-15;
+    aggressor = Source.Step { amplitude = 1.0; delay = 0.0 };
+  }
+
+let node prefix k = Printf.sprintf "%s%d" prefix k
+
+let victim_far_node spec = node "v" spec.sections
+
+let aggressor_far_node spec = node "a" spec.sections
+
+let generate spec =
+  if spec.sections <= 0 then invalid_arg "Coupled_lines.generate: sections <= 0";
+  let net = Netlist.create () in
+  (* drivers *)
+  Netlist.add net (Netlist.v "Vagg" "agg_src" "0" spec.aggressor);
+  Netlist.add net (Netlist.r "Rdrv_a" "agg_src" (node "a" 0) spec.r_drv);
+  Netlist.add net (Netlist.v "Vvic" "vic_src" "0" (Source.Dc 0.0));
+  Netlist.add net (Netlist.r "Rdrv_v" "vic_src" (node "v" 0) spec.r_drv_victim);
+  for k = 0 to spec.sections - 1 do
+    Netlist.add net
+      (Netlist.r (Printf.sprintf "Ra%d" k) (node "a" k) (node "a" (k + 1))
+         spec.r_seg);
+    Netlist.add net
+      (Netlist.r (Printf.sprintf "Rv%d" k) (node "v" k) (node "v" (k + 1))
+         spec.r_seg);
+    Netlist.add net
+      (Netlist.c (Printf.sprintf "Ca%d" k) (node "a" (k + 1)) "0" spec.c_seg);
+    Netlist.add net
+      (Netlist.c (Printf.sprintf "Cv%d" k) (node "v" (k + 1)) "0" spec.c_seg);
+    Netlist.add net
+      (Netlist.c
+         (Printf.sprintf "Cc%d" k)
+         (node "a" (k + 1))
+         (node "v" (k + 1))
+         spec.cc)
+  done;
+  Netlist.add net
+    (Netlist.c "Cload_a" (aggressor_far_node spec) "0" spec.c_load);
+  Netlist.add net (Netlist.c "Cload_v" (victim_far_node spec) "0" spec.c_load);
+  net

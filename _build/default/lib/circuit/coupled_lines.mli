@@ -1,0 +1,34 @@
+open Opm_signal
+
+(** Capacitively coupled interconnect pair — the classic crosstalk
+    workload (aggressor/victim RC lines with coupling capacitors at
+    every section).
+
+    Both lines are π-model RC chains; section [k] of the aggressor
+    couples to section [k] of the victim through [cc]. The aggressor is
+    driven by the given source, the victim's driver holds it at 0
+    through [r_drv], and the far ends carry load capacitors. Node
+    names: [a0…a<n>] (aggressor), [v0…v<n>] (victim). *)
+
+type spec = {
+  sections : int;
+  r_seg : float;  (** per-section wire resistance, Ω *)
+  c_seg : float;  (** per-section ground capacitance, F *)
+  cc : float;  (** per-section coupling capacitance, F *)
+  r_drv : float;  (** aggressor driver output resistance, Ω *)
+  r_drv_victim : float;  (** victim driver (holder) resistance, Ω *)
+  c_load : float;  (** receiver load, F *)
+  aggressor : Source.t;
+}
+
+val default_spec : spec
+(** 8 sections, 50 Ω/section, 20 fF ground + 30 fF coupling per section
+    (coupling-dominated — worst case), 100 Ω drivers on both lines,
+    10 fF loads, 1 V aggressor step. *)
+
+val generate : spec -> Netlist.t
+
+val victim_far_node : spec -> string
+(** Where to probe the crosstalk glitch. *)
+
+val aggressor_far_node : spec -> string

@@ -1,0 +1,34 @@
+
+let rc_ladder ?(r = 1e3) ?(c = 1e-9) ~sections ~input () =
+  if sections <= 0 then invalid_arg "Generators.rc_ladder: sections <= 0";
+  let net = Netlist.create () in
+  Netlist.add net (Netlist.v "Vin" "in" "0" input);
+  let node k = if k = 0 then "in" else Printf.sprintf "n%d" k in
+  for k = 1 to sections do
+    Netlist.add net (Netlist.r (Printf.sprintf "R%d" k) (node (k - 1)) (node k) r);
+    Netlist.add net (Netlist.c (Printf.sprintf "C%d" k) (node k) "0" c)
+  done;
+  net
+
+let rc_two_time_scale ?(tau_fast = 1e-6) ?(tau_slow = 1e-4) ~input () =
+  let r1 = 1e3 in
+  let c1 = tau_fast /. r1 in
+  (* large second stage decoupled through a big resistor *)
+  let r2 = 1e5 in
+  let c2 = tau_slow /. r2 in
+  Netlist.of_list
+    [
+      Netlist.v "Vin" "in" "0" input;
+      Netlist.r "R1" "in" "fast" r1;
+      Netlist.c "C1" "fast" "0" c1;
+      Netlist.r "R2" "fast" "slow" r2;
+      Netlist.c "C2" "slow" "0" c2;
+    ]
+
+let cpe_charging ?(r = 1e3) ?(q = 1e-6) ?(alpha = 0.5) ~input () =
+  Netlist.of_list
+    [
+      Netlist.v "Vin" "in" "0" input;
+      Netlist.r "R1" "in" "out" r;
+      Netlist.cpe "P1" "out" "0" ~q ~alpha;
+    ]

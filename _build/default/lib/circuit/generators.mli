@@ -1,0 +1,23 @@
+open Opm_signal
+
+(** Parametric circuit generators used by the examples, tests and the
+    benchmark workloads. *)
+
+val rc_ladder :
+  ?r:float -> ?c:float -> sections:int -> input:Source.t -> unit -> Netlist.t
+(** Classic RC ladder: [V_in — R — n1 — R — n2 … ], each internal node
+    with [C] to ground. Defaults [r = 1 kΩ], [c = 1 nF]. The input is a
+    voltage source at node ["in"]. *)
+
+val rc_two_time_scale :
+  ?tau_fast:float -> ?tau_slow:float -> input:Source.t -> unit -> Netlist.t
+(** Two cascaded RC stages with time constants [tau_fast ≪ tau_slow]
+    (defaults 1 µs and 100 µs) — the stiff benchmark for the adaptive
+    step ablation. *)
+
+val cpe_charging :
+  ?r:float -> ?q:float -> ?alpha:float -> input:Source.t -> unit -> Netlist.t
+(** Supercapacitor-style charging circuit: voltage source, series
+    resistor, CPE to ground (defaults [r = 1 kΩ], [q = 1 µF·s^{α−1}],
+    [α = 0.5]). Its node equation is the scalar relaxation FDE whose
+    exact solution is a Mittag-Leffler function. *)

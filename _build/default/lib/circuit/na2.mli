@@ -1,0 +1,26 @@
+open Opm_core
+
+(** Second-order nodal analysis (the paper's Table II "NA" model).
+
+    For an RLC network driven by current sources only, nodal analysis
+    with inductor currents eliminated gives
+
+    [C v̇ + G v + Γ ∫₀ᵗ v dτ = i(t)]
+
+    where [Γ] is the inductive-susceptance stamp [1/L]; differentiating
+    once yields the second-order model the paper simulates with OPM:
+
+    [C v̈ + G v̇ + Γ v = di/dt]   (size = node count, vs. node + branch
+    count for the MNA DAE — the 75 K vs 110 K of Table II).
+
+    The derivative on the right-hand side is exact in OPM coordinates
+    (coefficients multiply by the operational matrix [D], see
+    {!Multi_term.t.input_order}). *)
+
+val stamp :
+  ?outputs:Mna.probe list ->
+  Netlist.t ->
+  Multi_term.t * Opm_signal.Source.t array
+(** Raises [Invalid_argument] if the netlist contains voltage sources
+    or CPEs (use {!Mna.stamp} for those). Probes must be node
+    voltages. *)

@@ -1,0 +1,213 @@
+open Opm_signal
+
+exception Parse_error of { line : int; message : string }
+
+let fail line fmt = Printf.ksprintf (fun message -> raise (Parse_error { line; message })) fmt
+
+let suffix_table =
+  [
+    ("meg", 1e6);
+    ("t", 1e12);
+    ("g", 1e9);
+    ("k", 1e3);
+    ("m", 1e-3);
+    ("u", 1e-6);
+    ("n", 1e-9);
+    ("p", 1e-12);
+    ("f", 1e-15);
+  ]
+
+let parse_value s =
+  let s = String.lowercase_ascii (String.trim s) in
+  if s = "" then failwith "Parser.parse_value: empty value";
+  let try_suffix (suffix, mult) =
+    let ls = String.length s and lx = String.length suffix in
+    if ls > lx && String.sub s (ls - lx) lx = suffix then
+      let head = String.sub s 0 (ls - lx) in
+      match float_of_string_opt head with
+      | Some v -> Some (v *. mult)
+      | None -> None
+    else None
+  in
+  match float_of_string_opt s with
+  | Some v -> v
+  | None -> (
+      match List.find_map try_suffix suffix_table with
+      | Some v -> v
+      | None -> failwith (Printf.sprintf "Parser.parse_value: cannot parse %S" s))
+
+(* split "fn(a b, c)" into tokens, keeping parenthesised groups whole *)
+let tokenize line_no s =
+  let tokens = ref [] in
+  let buf = Buffer.create 16 in
+  let depth = ref 0 in
+  let flush () =
+    if Buffer.length buf > 0 then begin
+      tokens := Buffer.contents buf :: !tokens;
+      Buffer.clear buf
+    end
+  in
+  String.iter
+    (fun ch ->
+      match ch with
+      | '(' ->
+          incr depth;
+          Buffer.add_char buf ch
+      | ')' ->
+          decr depth;
+          if !depth < 0 then fail line_no "unbalanced ')'";
+          Buffer.add_char buf ch
+      | ' ' | '\t' | ',' when !depth = 0 -> flush ()
+      | _ -> Buffer.add_char buf ch)
+    s;
+  if !depth <> 0 then fail line_no "unbalanced '('";
+  flush ();
+  List.rev !tokens
+
+let numbers_in line_no s =
+  (* arguments inside parens, space- or comma-separated *)
+  String.split_on_char ',' s
+  |> List.concat_map (String.split_on_char ' ')
+  |> List.filter_map (fun tok ->
+         let tok = String.trim tok in
+         if tok = "" then None
+         else
+           match parse_value tok with
+           | v -> Some v
+           | exception Failure m -> fail line_no "%s" m)
+
+let parse_call line_no token =
+  (* "name(args)" -> (name, args-numbers); bare values -> ("", [v]) *)
+  match String.index_opt token '(' with
+  | None -> None
+  | Some i ->
+      if token.[String.length token - 1] <> ')' then
+        fail line_no "malformed source call %S" token;
+      let name = String.lowercase_ascii (String.sub token 0 i) in
+      let args = String.sub token (i + 1) (String.length token - i - 2) in
+      Some (name, numbers_in line_no args)
+
+let parse_source line_no tokens =
+  match tokens with
+  | [] -> fail line_no "missing source specification"
+  | [ tok ] -> (
+      match parse_call line_no tok with
+      | None -> (
+          match parse_value tok with
+          | v -> Source.Dc v
+          | exception Failure m -> fail line_no "%s" m)
+      | Some (fn, args) -> (
+          match (fn, args) with
+          | "step", [ amplitude ] -> Source.Step { amplitude; delay = 0.0 }
+          | "step", [ amplitude; delay ] -> Source.Step { amplitude; delay }
+          | "pulse", [ low; high; delay; width; period ] ->
+              let period = if period = 0.0 then Float.infinity else period in
+              Source.Pulse { low; high; delay; width; period }
+          | "sin", [ offset; amplitude; freq_hz ] ->
+              Source.Sine { amplitude; freq_hz; phase = 0.0; offset }
+          | "sin", [ offset; amplitude; freq_hz; phase ] ->
+              Source.Sine { amplitude; freq_hz; phase; offset }
+          | "exp", [ amplitude; tau ] -> Source.Exp_decay { amplitude; tau }
+          | "ramp", [ slope ] -> Source.Ramp { slope; delay = 0.0 }
+          | "ramp", [ slope; delay ] -> Source.Ramp { slope; delay }
+          | "pwl", args ->
+              if List.length args < 2 || List.length args mod 2 <> 0 then
+                fail line_no "pwl needs an even number of arguments";
+              let rec pairs = function
+                | t :: v :: rest -> (t, v) :: pairs rest
+                | [] -> []
+                | [ _ ] -> assert false
+              in
+              (try Source.pwl (pairs args)
+               with Invalid_argument m -> fail line_no "%s" m)
+          | _ ->
+              fail line_no "unknown source %s with %d argument(s)" fn
+                (List.length args)))
+  | "dc" :: rest -> (
+      match rest with
+      | [ tok ] -> (
+          match parse_value tok with
+          | v -> Source.Dc v
+          | exception Failure m -> fail line_no "%s" m)
+      | _ -> fail line_no "dc takes one value")
+  | _ -> fail line_no "cannot parse source specification"
+
+let parse_keyed line_no key tok =
+  (* "q=1u" *)
+  match String.split_on_char '=' tok with
+  | [ k; v ] when String.lowercase_ascii k = key -> (
+      match parse_value v with
+      | x -> x
+      | exception Failure m -> fail line_no "%s" m)
+  | _ -> fail line_no "expected %s=<value>, got %S" key tok
+
+let parse_line line_no line =
+  let line =
+    match String.index_opt line ';' with
+    | Some i -> String.sub line 0 i
+    | None -> line
+  in
+  let trimmed = String.trim line in
+  if trimmed = "" || trimmed.[0] = '*' then None
+  else if String.lowercase_ascii trimmed = ".end" then None
+  else begin
+    match tokenize line_no trimmed with
+    | name :: plus :: minus :: rest -> (
+        let kind = Char.lowercase_ascii name.[0] in
+        let value_arg () =
+          match rest with
+          | [ tok ] -> (
+              match parse_value tok with
+              | v -> v
+              | exception Failure m -> fail line_no "%s" m)
+          | _ -> fail line_no "%s expects exactly one value" name
+        in
+        match kind with
+        | 'r' -> Some (Netlist.r name plus minus (value_arg ()))
+        | 'c' -> Some (Netlist.c name plus minus (value_arg ()))
+        | 'l' -> Some (Netlist.l name plus minus (value_arg ()))
+        | 'p' -> (
+            match rest with
+            | [ qtok; atok ] ->
+                let q = parse_keyed line_no "q" qtok in
+                let alpha = parse_keyed line_no "alpha" atok in
+                Some (Netlist.cpe name plus minus ~q ~alpha)
+            | _ -> fail line_no "CPE syntax: P<name> n+ n- q=<v> alpha=<v>")
+        | 'v' -> Some (Netlist.v name plus minus (parse_source line_no rest))
+        | 'i' -> Some (Netlist.i name plus minus (parse_source line_no rest))
+        | 'g' -> (
+            match rest with
+            | [ cp; cm; gm ] -> (
+                match parse_value gm with
+                | gm -> Some (Netlist.vccs name plus minus ~ctrl:(cp, cm) ~gm)
+                | exception Failure m -> fail line_no "%s" m)
+            | _ -> fail line_no "VCCS syntax: G<name> n+ n- nc+ nc- <gm>")
+        | 'e' -> (
+            match rest with
+            | [ cp; cm; gain ] -> (
+                match parse_value gain with
+                | gain ->
+                    Some (Netlist.vcvs name plus minus ~ctrl:(cp, cm) ~gain)
+                | exception Failure m -> fail line_no "%s" m)
+            | _ -> fail line_no "VCVS syntax: E<name> n+ n- nc+ nc- <gain>")
+        | _ -> fail line_no "unknown element type %C" name.[0])
+    | _ -> fail line_no "element line needs a designator and two nodes"
+  end
+
+let parse_string text =
+  let net = Netlist.create () in
+  String.split_on_char '\n' text
+  |> List.iteri (fun i line ->
+         match parse_line (i + 1) line with
+         | Some inst -> (
+             try Netlist.add net inst
+             with Invalid_argument m -> fail (i + 1) "%s" m)
+         | None -> ());
+  net
+
+let parse_file path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  parse_string text

@@ -1,0 +1,43 @@
+(** SPICE-flavoured netlist parser.
+
+    Grammar (one element per line, case-insensitive designator prefix):
+
+    {v
+    * comment                      ; also "; comment"
+    R<name> <n+> <n-> <value>
+    C<name> <n+> <n-> <value>
+    L<name> <n+> <n-> <value>
+    P<name> <n+> <n-> q=<value> alpha=<value>      ; CPE
+    V<name> <n+> <n-> <source>
+    I<name> <n+> <n-> <source>
+    G<name> <n+> <n-> <nc+> <nc-> <gm>             ; VCCS
+    E<name> <n+> <n-> <nc+> <nc-> <gain>           ; VCVS
+    .end                           ; optional terminator
+    v}
+
+    [<value>] accepts engineering suffixes
+    [f p n u m k meg g t] (e.g. [1k], [2.2u], [10meg]).
+
+    [<source>] is one of:
+    - a bare value or [dc <value>] — constant;
+    - [step(<amp>[, <delay>])];
+    - [pulse(<low> <high> <delay> <width> <period>)]
+      ([period = 0] means one-shot);
+    - [sin(<offset> <amp> <freq_hz> [<phase>])];
+    - [exp(<amp> <tau>)];
+    - [ramp(<slope> [<delay>])];
+    - [pwl(<t1> <v1> <t2> <v2> …)].
+
+    Inside parentheses, arguments may be separated by spaces or
+    commas. *)
+
+exception Parse_error of { line : int; message : string }
+
+val parse_value : string -> float
+(** Engineering-notation number. Raises [Failure] on malformed input. *)
+
+val parse_string : string -> Netlist.t
+(** Raises {!Parse_error} with a 1-based line number on any malformed
+    line. *)
+
+val parse_file : string -> Netlist.t

@@ -1,0 +1,86 @@
+open Opm_signal
+
+type spec = {
+  nx : int;
+  ny : int;
+  nz : int;
+  r : float;
+  l : float;
+  c : float;
+  load_count : int;
+  load : Source.t;
+}
+
+let default_spec =
+  {
+    nx = 12;
+    ny = 12;
+    nz = 4;
+    r = 10e-3;
+    l = 0.1e-12;
+    c = 1e-12;
+    load_count = 8;
+    load =
+      Source.Pulse
+        { low = 0.0; high = 1e-3; delay = 20e-12; width = 50e-12; period = 100e-12 };
+  }
+
+let node_name ~x ~y ~z = Printf.sprintf "n%d_%d_%d" x y z
+
+let validate spec =
+  if spec.nx <= 0 || spec.ny <= 0 || spec.nz <= 0 then
+    invalid_arg "Power_grid.generate: non-positive dimension";
+  if spec.load_count < 0 || spec.load_count > spec.nx * spec.ny then
+    invalid_arg "Power_grid.generate: load_count out of range"
+
+let inductor_count spec = spec.nx * spec.ny * (spec.nz - 1)
+
+let generate spec =
+  validate spec;
+  let net = Netlist.create () in
+  let { nx; ny; nz; r; l; c; load_count; load } = spec in
+  (* in-plane wire segments are resistive; inter-layer vias inductive *)
+  let res = ref 0 and ind = ref 0 in
+  for z = 0 to nz - 1 do
+    for y = 0 to ny - 1 do
+      for x = 0 to nx - 1 do
+        let here = node_name ~x ~y ~z in
+        Netlist.add net (Netlist.c (Printf.sprintf "C%d_%d_%d" x y z) here "0" c);
+        if x + 1 < nx then begin
+          incr res;
+          Netlist.add net
+            (Netlist.r (Printf.sprintf "R%d" !res) here (node_name ~x:(x + 1) ~y ~z) r)
+        end;
+        if y + 1 < ny then begin
+          incr res;
+          Netlist.add net
+            (Netlist.r (Printf.sprintf "R%d" !res) here (node_name ~x ~y:(y + 1) ~z) r)
+        end;
+        if z + 1 < nz then begin
+          incr ind;
+          Netlist.add net
+            (Netlist.l (Printf.sprintf "L%d" !ind) here (node_name ~x ~y ~z:(z + 1)) l)
+        end
+      done
+    done
+  done;
+  (* switching loads spread across the bottom layer *)
+  if load_count > 0 then begin
+    let total = nx * ny in
+    let stride = Float.max 1.0 (float_of_int total /. float_of_int load_count) in
+    for k = 0 to load_count - 1 do
+      let flat = int_of_float (float_of_int k *. stride) in
+      let x = flat mod nx and y = flat / nx mod ny in
+      Netlist.add net
+        (Netlist.i (Printf.sprintf "Iload%d" k) (node_name ~x ~y ~z:0) "0" load)
+    done
+  end;
+  net
+
+let mna_unknowns spec =
+  validate spec;
+  (spec.nx * spec.ny * spec.nz) + inductor_count spec
+
+let na_unknowns spec =
+  validate spec;
+  spec.nx * spec.ny * spec.nz

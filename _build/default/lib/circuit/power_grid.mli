@@ -1,0 +1,43 @@
+open Opm_signal
+
+(** 3-D RLC power-grid generator — the Table II workload.
+
+    An [nx × ny × nz] lattice of nodes: in-plane lattice edges are
+    resistive wire segments, inter-layer edges are inductive vias, every
+    node has a decoupling [C] to ground, and switching blocks draw
+    pulse-train currents at tap nodes on the bottom layer. The paper's
+    instance has 75 K nodes (second-order NA model) / 110 K MNA
+    unknowns (nodes + inductor currents); ours is scale-parametric with
+    the same structure and the same NA-vs-MNA size relationship.
+
+    Defaults follow typical on-chip grid per-segment values:
+    [r = 10 mΩ] (wires), [l = 0.1 pH] (vias), [c = 1 pF] (decap),
+    load pulses of 1 mA with 100 ps period. *)
+
+type spec = {
+  nx : int;
+  ny : int;
+  nz : int;
+  r : float;  (** segment resistance, Ω *)
+  l : float;  (** segment inductance, H *)
+  c : float;  (** per-node decap, F *)
+  load_count : int;  (** number of switching-current taps *)
+  load : Source.t;  (** waveform drawn by each tap *)
+}
+
+val default_spec : spec
+(** [12 × 12 × 4] grid (576 nodes), 8 loads. *)
+
+val node_name : x:int -> y:int -> z:int -> string
+
+val generate : spec -> Netlist.t
+(** Deterministic: loads are spread over the bottom layer on a fixed
+    stride. Raises [Invalid_argument] for non-positive dimensions or
+    [load_count > nx·ny]. *)
+
+val mna_unknowns : spec -> int
+(** Size of the first-order MNA model (nodes + inductor branches) —
+    Table II's "110 K". *)
+
+val na_unknowns : spec -> int
+(** Size of the second-order NA model (nodes) — Table II's "75 K". *)

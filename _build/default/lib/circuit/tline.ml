@@ -1,0 +1,38 @@
+open Opm_numkit
+open Opm_core
+open Opm_signal
+
+let order = 7
+
+let alpha = 0.5
+
+let t_end = 2.7e-9
+
+(* Seven RC sections of a lossy line, half-order form. The section time
+   constant tau = r·c sets the speed; with T = 2.7 ns we pick tau so the
+   step response traverses most of its transient inside the window. *)
+let model () =
+  let n = order in
+  let tau = 0.1e-9 in
+  (* E = sqrt(tau)·I: the half-order operator carries s^{1/2}, so the
+     natural scaling is tau^{alpha} *)
+  let e = Mat.scale (sqrt tau) (Mat.eye n) in
+  (* tridiagonal diffusion coupling with port loading at both ends *)
+  let a =
+    Mat.init n n (fun i j ->
+        if i = j then if i = 0 || i = n - 1 then -1.5 else -2.0
+        else if abs (i - j) = 1 then 1.0
+        else 0.0)
+  in
+  let b = Mat.zeros n 2 in
+  Mat.set b 0 0 1.0;
+  Mat.set b (n - 1) 1 1.0;
+  let c = Mat.zeros 2 n in
+  Mat.set c 0 0 1.0;
+  Mat.set c 1 (n - 1) 1.0;
+  let state_names = Array.init n (Printf.sprintf "v%d") in
+  Descriptor.of_dense ~state_names
+    ~output_names:[| "y_port1"; "y_port2" |]
+    ~e ~a ~b ~c ()
+
+let inputs () = [| Source.Step { amplitude = 1.0; delay = 0.0 }; Source.Dc 0.0 |]

@@ -1,0 +1,39 @@
+open Opm_core
+open Opm_signal
+
+(** Fractional transmission-line model — the Table I workload.
+
+    The paper's example is a 7-state, 2-input/2-output half-order
+    ([α = 1/2]) descriptor model from the fractional transmission-line
+    literature ([Baleanu et al. 2010], [Yanzhu & Dingyu 2007]); the
+    concrete matrices are not published. We substitute a synthetic
+    model with the same provenance and shape: a lossy line is a
+    diffusion medium (per-length [r·c] dynamics), and diffusion is
+    exactly where half-order operators arise — the input impedance of a
+    semi-infinite RC line is [√(r/(c·s))]. Discretising the line into 7
+    sections and taking the half-order form gives
+
+    [E · d^{1/2} v / dt^{1/2} = A v + B u],  [y = C v]
+
+    with [E = τ^{1/2}·I] (section time-constant scaling), [A] the
+    tridiagonal section-coupling matrix, and [B], [C] selecting the two
+    port nodes. Dimensions, fractional order, simulation span
+    ([0, 2.7 ns)) and step count ([m = 8]) match the paper exactly, so
+    the identical code paths (fractional operational matrix, column
+    solve, complex-arithmetic FFT baseline) are exercised. *)
+
+val order : int
+(** 7 — the paper's state count. *)
+
+val alpha : float
+(** 1/2. *)
+
+val t_end : float
+(** 2.7 ns. *)
+
+val model : unit -> Descriptor.t
+(** The synthetic 7-state, 2-port fractional descriptor model. *)
+
+val inputs : unit -> Source.t array
+(** The Table I excitation: a 1 V step into port 1 at [t = 0], port 2
+    quiet. *)

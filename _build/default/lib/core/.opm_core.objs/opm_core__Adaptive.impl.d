@@ -1,0 +1,1 @@
+lib/core/adaptive.ml: Array Descriptor Float Grid List Logs Lu Mat Opm_basis Opm_numkit Opm_signal Option Sim_result Source Vec

@@ -1,0 +1,1 @@
+lib/core/adaptive.mli: Descriptor Opm_signal Sim_result Source

@@ -1,0 +1,1 @@
+lib/core/descriptor.ml: Array Csr Float Mat Opm_numkit Opm_sparse Printf Random

@@ -1,0 +1,1 @@
+lib/core/descriptor.mli: Csr Mat Opm_numkit Opm_sparse

@@ -1,0 +1,1 @@
+lib/core/engine.ml: Array Csr List Lu Mat Opm_numkit Opm_sparse Slu Vec

@@ -1,0 +1,1 @@
+lib/core/engine.mli: Csr Mat Opm_numkit Opm_sparse Vec

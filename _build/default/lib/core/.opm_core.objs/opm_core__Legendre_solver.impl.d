@@ -1,0 +1,1 @@
+lib/core/legendre_solver.ml: Array Descriptor Engine Legendre Mat Opm_basis Opm_numkit Opm_signal Option Source Vec Waveform

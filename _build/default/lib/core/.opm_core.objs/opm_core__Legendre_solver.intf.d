@@ -1,0 +1,1 @@
+lib/core/legendre_solver.mli: Descriptor Mat Opm_numkit Opm_signal Source Vec Waveform

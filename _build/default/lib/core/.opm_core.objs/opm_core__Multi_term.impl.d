@@ -1,0 +1,1 @@
+lib/core/multi_term.ml: Array Coo Csr Descriptor Float List Mat Opm_numkit Opm_sparse Option Printf

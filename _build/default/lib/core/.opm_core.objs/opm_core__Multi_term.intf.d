@@ -1,0 +1,1 @@
+lib/core/multi_term.mli: Csr Descriptor Mat Opm_numkit Opm_sparse

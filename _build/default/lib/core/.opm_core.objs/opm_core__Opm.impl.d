@@ -1,0 +1,1 @@
+lib/core/opm.ml: Array Block_pulse Csr Descriptor Engine Fun Grid List Mat Multi_term Opm_basis Opm_numkit Opm_sparse Option Printf Sim_result Vec

@@ -1,0 +1,1 @@
+lib/core/opm.mli: Descriptor Grid Multi_term Opm_basis Opm_numkit Opm_signal Sim_result Source

@@ -1,0 +1,1 @@
+lib/core/sim_result.ml: Array Grid Mat Opm_basis Opm_numkit Opm_signal Waveform

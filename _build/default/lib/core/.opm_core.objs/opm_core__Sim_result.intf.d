@@ -1,0 +1,1 @@
+lib/core/sim_result.mli: Grid Mat Opm_basis Opm_numkit Opm_signal Vec Waveform

@@ -1,0 +1,37 @@
+open Opm_signal
+
+(** Adaptive time-step OPM (paper §III-B).
+
+    With per-interval steps [h_i] the differential matrix column [i]
+    depends only on [h_i] (eq. 25's closed form:
+    [D̃_{ii} = 2/h_i], [D̃_{ji} = 4(−1)^{i−j}/h_i] for [j < i]), so the
+    column-by-column solve extends *incrementally*: appending a step
+    never changes earlier columns. The driver exploits this to choose
+    each [h_i] on the fly — the paper's "error control mechanism" —
+    by comparing a full step against two half steps and applying a
+    standard step-size controller.
+
+    Linear first-order systems only ([E ẋ = A x + B u]); fractional
+    systems on a *prescribed* adaptive grid are handled by
+    {!Opm.simulate_fractional} instead (their operational matrix
+    couples all steps, so on-the-fly extension is not possible). *)
+
+type stats = {
+  accepted : int;  (** accepted steps (= final grid size) *)
+  rejected : int;  (** rejected trial steps *)
+  factorizations : int;  (** distinct diagonal-block factorisations *)
+}
+
+val solve :
+  ?tol:float ->
+  ?h_init:float ->
+  ?h_min:float ->
+  ?h_max:float ->
+  t_end:float ->
+  Descriptor.t ->
+  Source.t array ->
+  Sim_result.t * stats
+(** [tol] is the per-step local error tolerance relative to the state
+    scale (default [1e-4]). [h_init] defaults to [t_end/100]; [h_min]
+    to [t_end·1e-9]; [h_max] to [t_end/4]. Raises [Failure] if the
+    controller hits [h_min] without meeting [tol]. *)

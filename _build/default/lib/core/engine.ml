@@ -1,0 +1,222 @@
+open Opm_numkit
+open Opm_sparse
+
+let check_terms_dims ~n ~m terms a_rows a_cols =
+  if a_rows <> n || a_cols <> n then
+    invalid_arg "Engine: A dimension mismatch with BU";
+  List.iter
+    (fun ((er, ec), (dr, dc)) ->
+      if er <> n || ec <> n then invalid_arg "Engine: E_k dimension mismatch";
+      if dr <> m || dc <> m then invalid_arg "Engine: D_k dimension mismatch")
+    terms
+
+let diag_key terms i = List.map (fun (_, d) -> Mat.get d i i) terms
+
+let same_key a b = List.for_all2 (fun (x : float) y -> x = y) a b
+
+(* Accumulate rhs_i = bu_i − Σ_k E_k (Σ_{j<i} d^{(k)}_{ji} x_j), with
+   [apply_e] abstracting dense/sparse E_k·v. *)
+let column_rhs ~n ~bu ~terms ~apply_e ~cols i =
+  let rhs = Array.init n (fun r -> Mat.get bu r i) in
+  List.iteri
+    (fun k (_, dmat) ->
+      let acc = Array.make n 0.0 in
+      let any = ref false in
+      for j = 0 to i - 1 do
+        let w = Mat.get dmat j i in
+        if w <> 0.0 then begin
+          any := true;
+          Vec.axpy w cols.(j) acc
+        end
+      done;
+      if !any then begin
+        let ev = apply_e k acc in
+        Vec.axpy (-1.0) ev rhs
+      end)
+    terms;
+  rhs
+
+let solve_dense ~terms ~a ~bu =
+  let n, m = Mat.dims bu in
+  check_terms_dims ~n ~m
+    (List.map (fun (e, d) -> (Mat.dims e, Mat.dims d)) terms)
+    (fst (Mat.dims a)) (snd (Mat.dims a));
+  let term_mats = List.map fst terms in
+  let apply_e k v = Mat.mul_vec (List.nth term_mats k) v in
+  let cols = Array.make m [||] in
+  let cache : (float list * Lu.t) option ref = ref None in
+  for i = 0 to m - 1 do
+    let rhs = column_rhs ~n ~bu ~terms ~apply_e ~cols i in
+    let key = diag_key terms i in
+    let lu =
+      match !cache with
+      | Some (k, f) when same_key k key -> f
+      | _ ->
+          let mat =
+            List.fold_left2
+              (fun acc (e, _) dii -> Mat.add acc (Mat.scale dii e))
+              (Mat.scale (-1.0) a) terms key
+          in
+          let f = Lu.factor mat in
+          cache := Some (key, f);
+          f
+    in
+    cols.(i) <- Lu.solve lu rhs
+  done;
+  let x = Mat.zeros n m in
+  Array.iteri (fun i col -> Mat.set_col x i col) cols;
+  x
+
+let solve_sparse ~terms ~a ~bu =
+  let n, m = Mat.dims bu in
+  check_terms_dims ~n ~m
+    (List.map (fun (e, d) -> (Csr.dims e, Mat.dims d)) terms)
+    (fst (Csr.dims a)) (snd (Csr.dims a));
+  let term_mats = List.map fst terms in
+  let apply_e k v = Csr.mul_vec (List.nth term_mats k) v in
+  let cols = Array.make m [||] in
+  let cache : (float list * Slu.t) option ref = ref None in
+  for i = 0 to m - 1 do
+    let rhs = column_rhs ~n ~bu ~terms ~apply_e ~cols i in
+    let key = diag_key terms i in
+    let slu =
+      match !cache with
+      | Some (k, f) when same_key k key -> f
+      | _ ->
+          let mat =
+            List.fold_left2
+              (fun acc (e, _) dii -> Csr.add ~alpha:1.0 ~beta:dii acc e)
+              (Csr.scale (-1.0) a) terms key
+          in
+          let f = Slu.factor mat in
+          cache := Some (key, f);
+          f
+    in
+    cols.(i) <- Slu.solve slu rhs
+  done;
+  let x = Mat.zeros n m in
+  Array.iteri (fun i col -> Mat.set_col x i col) cols;
+  x
+
+(* order-1 fast path shared between backends: [factor_for h] returns a
+   cached solve function for (2/h·E − A) *)
+let solve_linear ~steps ~apply_e ~factor_for ~bu =
+  let n, m = Mat.dims bu in
+  if Array.length steps <> m then
+    invalid_arg "Engine.solve_linear: step count mismatch";
+  let x = Mat.zeros n m in
+  let salt = Array.make n 0.0 in
+  for i = 0 to m - 1 do
+    let h = steps.(i) in
+    let rhs = Array.init n (fun r -> Mat.get bu r i) in
+    let sign = if i land 1 = 1 then -1.0 else 1.0 in
+    let coupling = apply_e salt in
+    Vec.axpy (-4.0 /. h *. sign) coupling rhs;
+    let xi = factor_for h rhs in
+    Mat.set_col x i xi;
+    Vec.axpy sign xi salt
+  done;
+  x
+
+let cached_factor factor solve =
+  let cache = ref [] in
+  fun h rhs ->
+    let f =
+      match List.assoc_opt h !cache with
+      | Some f -> f
+      | None ->
+          let f = factor h in
+          cache := (h, f) :: !cache;
+          f
+    in
+    solve f rhs
+
+let solve_linear_dense ~steps ~e ~a ~bu =
+  let factor_for =
+    cached_factor
+      (fun h -> Lu.factor (Mat.sub (Mat.scale (2.0 /. h) e) a))
+      Lu.solve
+  in
+  solve_linear ~steps ~apply_e:(Mat.mul_vec e) ~factor_for ~bu
+
+let solve_linear_sparse ~steps ~e ~a ~bu =
+  let factor_for =
+    cached_factor
+      (fun h -> Slu.factor (Csr.add ~alpha:(2.0 /. h) ~beta:(-1.0) e a))
+      Slu.solve
+  in
+  solve_linear ~steps ~apply_e:(Csr.mul_vec e) ~factor_for ~bu
+
+let integral_rhs ~one ~e_x0 ~bu_int =
+  let n, m = Mat.dims bu_int in
+  if Array.length one <> m then
+    invalid_arg "Engine.solve_integral: constant-vector length mismatch";
+  if Array.length e_x0 <> n then
+    invalid_arg "Engine.solve_integral: x0 length mismatch";
+  Mat.init n m (fun r i -> Mat.get bu_int r i +. (e_x0.(r) *. one.(i)))
+
+let solve_integral_dense ~h_mat ~one ~e ~a ~bu_int ~x0 =
+  let n, m = Mat.dims bu_int in
+  let hr, hc = Mat.dims h_mat in
+  if hr <> m || hc <> m then
+    invalid_arg "Engine.solve_integral_dense: H dimension mismatch";
+  if not (Mat.is_upper_triangular ~tol:0.0 h_mat) then
+    invalid_arg
+      "Engine.solve_integral_dense: H must be upper triangular (use \
+       solve_integral_kron for general bases)";
+  let rhs_base = integral_rhs ~one ~e_x0:(Mat.mul_vec e x0) ~bu_int in
+  let cols = Array.make m [||] in
+  let cache : (float * Lu.t) option ref = ref None in
+  for i = 0 to m - 1 do
+    let rhs = Array.init n (fun r -> Mat.get rhs_base r i) in
+    (* + A Σ_{j<i} H_{ji} x_j *)
+    let acc = Array.make n 0.0 in
+    let any = ref false in
+    for j = 0 to i - 1 do
+      let w = Mat.get h_mat j i in
+      if w <> 0.0 then begin
+        any := true;
+        Vec.axpy w cols.(j) acc
+      end
+    done;
+    if !any then Vec.axpy 1.0 (Mat.mul_vec a acc) rhs;
+    let hii = Mat.get h_mat i i in
+    let lu =
+      match !cache with
+      | Some (k, f) when k = hii -> f
+      | _ ->
+          let f = Lu.factor (Mat.sub e (Mat.scale hii a)) in
+          cache := Some (hii, f);
+          f
+    in
+    cols.(i) <- Lu.solve lu rhs
+  done;
+  let x = Mat.zeros n m in
+  Array.iteri (fun i col -> Mat.set_col x i col) cols;
+  x
+
+let solve_integral_kron ~h_mat ~one ~e ~a ~bu_int ~x0 =
+  let n, m = Mat.dims bu_int in
+  let rhs_mat = integral_rhs ~one ~e_x0:(Mat.mul_vec e x0) ~bu_int in
+  let big =
+    Mat.sub (Mat.kron (Mat.eye m) e) (Mat.kron (Mat.transpose h_mat) a)
+  in
+  let rhs = Array.init (n * m) (fun k -> Mat.get rhs_mat (k mod n) (k / n)) in
+  let sol = Lu.solve_dense big rhs in
+  Mat.init n m (fun r c -> sol.((c * n) + r))
+
+let solve_dense_kron ~terms ~a ~bu =
+  let n, m = Mat.dims bu in
+  check_terms_dims ~n ~m
+    (List.map (fun (e, d) -> (Mat.dims e, Mat.dims d)) terms)
+    (fst (Mat.dims a)) (snd (Mat.dims a));
+  (* (Σ_k D_kᵀ ⊗ E_k − I_m ⊗ A) vec(X) = vec(BU), column-major vec *)
+  let big =
+    List.fold_left
+      (fun acc (e, d) -> Mat.add acc (Mat.kron (Mat.transpose d) e))
+      (Mat.kron (Mat.eye m) (Mat.scale (-1.0) a))
+      terms
+  in
+  let rhs = Array.init (n * m) (fun k -> Mat.get bu (k mod n) (k / n)) in
+  let sol = Lu.solve_dense big rhs in
+  Mat.init n m (fun r c -> sol.((c * n) + r))

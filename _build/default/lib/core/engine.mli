@@ -1,0 +1,79 @@
+open Opm_numkit
+open Opm_sparse
+
+(** The OPM linear-matrix-equation kernel.
+
+    Solves the coefficient equation
+
+    [Σ_k E_k · X · D_k = A · X + BU]
+
+    for the [n×m] matrix [X], where every [D_k] is the (upper-triangular)
+    operational matrix of the [k]-th differential term. This is the
+    paper's eq. (14)/(27) generalised to several terms; because each
+    [D_k] is upper triangular, [Dᵀ ⊗ E − I ⊗ A] is block lower
+    triangular and [X] is solved column by column (§III-A, §IV):
+
+    [(Σ_k d^{(k)}_{ii} E_k − A) x_i = bu_i − Σ_k E_k Σ_{j<i} d^{(k)}_{ji} x_j]
+
+    When the [d^{(k)}_{ii}] are constant across columns (uniform time
+    step) the left-hand matrix is factorised once and reused — that is
+    why Table II shows OPM's runtime on par with one-factorisation
+    transient schemes. *)
+
+val solve_dense : terms:(Mat.t * Mat.t) list -> a:Mat.t -> bu:Mat.t -> Mat.t
+(** [terms] are [(E_k, D_k)] pairs. Raises [Invalid_argument] on
+    dimension mismatches, [Lu.Singular] if a diagonal block is
+    singular. *)
+
+val solve_sparse : terms:(Csr.t * Mat.t) list -> a:Csr.t -> bu:Mat.t -> Mat.t
+(** Same algorithm with sparse [E_k], [A] and the sparse LU backend. *)
+
+val solve_dense_kron : terms:(Mat.t * Mat.t) list -> a:Mat.t -> bu:Mat.t -> Mat.t
+(** Reference implementation that forms the full
+    [Σ_k (D_kᵀ ⊗ E_k) − I_m ⊗ A] Kronecker system (the paper's eq. (15))
+    and solves it densely — [O((nm)³)]; exists to validate
+    {!solve_dense} and to ablate the complexity claim. *)
+
+val solve_linear_dense :
+  steps:float array -> e:Mat.t -> a:Mat.t -> bu:Mat.t -> Mat.t
+(** Order-1 fast path (paper §III-A: for linear systems [D]'s special
+    pattern — column [i] is [(2/h_i)] on the diagonal and
+    [4(−1)^{i−j}/h_i] above — reduces the per-column history to one
+    running alternating sum):
+
+    [(2/h_i·E − A) x_i = bu_i − (4/h_i)·E·(−1)^i·Σ_{j<i} (−1)^j x_j]
+
+    [O(n^β·#distinct steps + n·m)] instead of the generic engine's
+    [O(n·m²)]. Never materialises [D]. *)
+
+val solve_linear_sparse :
+  steps:float array -> e:Csr.t -> a:Csr.t -> bu:Mat.t -> Mat.t
+(** Sparse-backend version of {!solve_linear_dense}. *)
+
+(** {1 Integral-form OPM}
+
+    The classical operational-matrix formulation (the lineage of the
+    paper's refs [2], [4]): integrating [E ẋ = A x + B u] once gives
+
+    [E·X = A·X·H + B·U·H + (E x₀)·1ᵀ]
+
+    where [H] is the *integration* operational matrix and [1] the
+    coefficient vector of the constant-one function in the chosen basis.
+    Initial conditions enter for free, and the formulation works for any
+    basis with an integration matrix — including polynomial bases whose
+    differentiation matrix does not exist (Legendre). *)
+
+val solve_integral_dense :
+  h_mat:Mat.t -> one:Vec.t -> e:Mat.t -> a:Mat.t -> bu_int:Mat.t ->
+  x0:Vec.t -> Mat.t
+(** Column-by-column solve of the integral form; requires [h_mat] upper
+    triangular (block pulses). [bu_int] is [B·U·H] ([n×m]); [one] the
+    constant-1 coefficients; each diagonal block is
+    [(E − H_{ii}·A)]. *)
+
+val solve_integral_kron :
+  h_mat:Mat.t -> one:Vec.t -> e:Mat.t -> a:Mat.t -> bu_int:Mat.t ->
+  x0:Vec.t -> Mat.t
+(** Dense Kronecker solve of the same equation,
+    [(I_m ⊗ E − Hᵀ ⊗ A) vec(X) = vec(BU·H + E x₀·1ᵀ)] — valid for *any*
+    [h_mat] (e.g. the non-triangular Legendre integration matrix). *)

@@ -1,0 +1,29 @@
+open Opm_numkit
+open Opm_signal
+
+(** Spectral OPM: the integral-form solver in the shifted-Legendre
+    polynomial basis (one of the alternative bases of paper §I).
+
+    Block pulses converge like [O(h²)]; for *smooth* inputs a polynomial
+    basis converges spectrally — a handful of Legendre coefficients can
+    beat hundreds of block pulses. The Legendre integration operational
+    matrix is not triangular, so the system is solved through the
+    Kronecker form (cost [O((nm)³)]) — worthwhile exactly because [m]
+    stays tiny. Discontinuous inputs (steps, pulses) lose the spectral
+    rate to Gibbs oscillations; prefer block pulses there. *)
+
+val simulate :
+  ?x0:Vec.t ->
+  t_end:float ->
+  m:int ->
+  sample_count:int ->
+  Descriptor.t ->
+  Source.t array ->
+  Waveform.t
+(** Solve [E ẋ = A x + B u], [x(0) = x₀] with [m] Legendre coefficients
+    per state and return the outputs [y = C x] evaluated on
+    [sample_count] uniformly spaced points of [[0, t_end]]. *)
+
+val state_coefficients :
+  ?x0:Vec.t -> t_end:float -> m:int -> Descriptor.t -> Source.t array -> Mat.t
+(** The raw [n×m] Legendre coefficient matrix of the state. *)

@@ -1,0 +1,76 @@
+open Opm_basis
+open Opm_signal
+
+(** The operational-matrix simulation algorithm (the paper's OPM).
+
+    Each entry point expands the inputs in block-pulse functions on the
+    given grid, builds the operational matrices [D^{α_k}], solves the
+    coefficient equation column by column ({!Engine}) and packages the
+    result as waveforms.
+
+    Backend selection: [`Dense] uses dense LU on the diagonal blocks,
+    [`Sparse] the sparse GP LU; [`Auto] (default) picks sparse for
+    systems larger than 64 states. *)
+
+type backend = [ `Auto | `Dense | `Sparse ]
+
+val simulate_linear :
+  ?backend:backend ->
+  ?x0:Opm_numkit.Vec.t ->
+  grid:Grid.t ->
+  Descriptor.t ->
+  Source.t array ->
+  Sim_result.t
+(** Transient analysis of [E ẋ = A x + B u], [x(0) = x₀] (paper §III;
+    default [x₀ = 0]). The source array must have one entry per system
+    input. Linear systems take the §III-A fast path: the order-1
+    operational matrix's special pattern reduces the per-column history
+    to one running sum, so the cost is [O(n^β + n·m)] like one-step
+    transient schemes. *)
+
+val simulate_fractional :
+  ?backend:backend ->
+  ?x0:Opm_numkit.Vec.t ->
+  grid:Grid.t ->
+  alpha:float ->
+  Descriptor.t ->
+  Source.t array ->
+  Sim_result.t
+(** [E d^α x/dt^α = A x + B u] (paper §IV, eq. 19/27), Caputo
+    initialisation at [x₀] (default 0; higher-order initial derivatives
+    are taken as zero). On adaptive grids the steps must be pairwise
+    distinct (paper eq. 25); see
+    {!Block_pulse.fractional_differential_matrix}. *)
+
+val simulate_multi_term :
+  ?backend:backend ->
+  ?x0:Opm_numkit.Vec.t ->
+  grid:Grid.t ->
+  Multi_term.t ->
+  Source.t array ->
+  Sim_result.t
+(** General engine: high-order systems (Table II's second-order NA
+    model) and multi-term FDEs (e.g. circuits mixing capacitors with
+    fractional CPEs). *)
+
+val simulate_linear_kron :
+  grid:Grid.t -> Descriptor.t -> Source.t array -> Sim_result.t
+(** Ablation variant solving the full Kronecker system of eq. (15)
+    instead of going column by column. Numerically identical, much
+    slower; dense only. *)
+
+val simulate_linear_integral :
+  ?x0:Opm_numkit.Vec.t ->
+  grid:Grid.t ->
+  Descriptor.t ->
+  Source.t array ->
+  Sim_result.t
+(** Integral-form OPM (see {!Engine.solve_integral_dense}): integrates
+    the system once and solves [E X = A X H + B U H + E x₀ 1ᵀ]. Agrees
+    with {!simulate_linear} to within discretisation error; exists
+    because the formulation generalises to bases without a
+    differentiation matrix and carries initial conditions natively. *)
+
+val input_coefficients : grid:Grid.t -> Source.t array -> Opm_numkit.Mat.t
+(** BPF coefficient matrix [U] ([p×m], eq. 11) of the inputs — exposed
+    for custom drivers and tests. *)

@@ -1,0 +1,27 @@
+open Opm_numkit
+open Opm_basis
+open Opm_signal
+
+type t = {
+  grid : Grid.t;
+  x : Mat.t;
+  states : Waveform.t;
+  outputs : Waveform.t;
+}
+
+let make ~grid ~x ~c ~state_names ~output_names =
+  let times = Grid.midpoints grid in
+  let n, _m = Mat.dims x in
+  let states =
+    Waveform.make ~labels:state_names times (Array.init n (fun i -> Mat.row x i))
+  in
+  let y = Mat.mul c x in
+  let q, _ = Mat.dims y in
+  let outputs =
+    Waveform.make ~labels:output_names times (Array.init q (fun i -> Mat.row y i))
+  in
+  { grid; x; states; outputs }
+
+let output r i = Waveform.channel r.outputs i
+
+let state r i = Waveform.channel r.states i

@@ -1,0 +1,27 @@
+open Opm_numkit
+open Opm_basis
+open Opm_signal
+
+(** Result of an OPM simulation: the raw BPF coefficient matrix plus
+    waveform views of states and outputs sampled at the grid
+    midpoints (the natural evaluation points of a BPF expansion). *)
+
+type t = {
+  grid : Grid.t;
+  x : Mat.t;  (** [n×m] BPF coefficients of the state *)
+  states : Waveform.t;
+  outputs : Waveform.t;
+}
+
+val make :
+  grid:Grid.t ->
+  x:Mat.t ->
+  c:Mat.t ->
+  state_names:string array ->
+  output_names:string array ->
+  t
+
+val output : t -> int -> Vec.t
+(** Row [i] of the output waveform. *)
+
+val state : t -> int -> Vec.t

@@ -1,0 +1,1 @@
+lib/numkit/cmat.ml: Array Complex Float Mat

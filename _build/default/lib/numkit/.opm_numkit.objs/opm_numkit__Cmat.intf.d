@@ -1,0 +1,1 @@
+lib/numkit/cmat.mli: Complex Mat

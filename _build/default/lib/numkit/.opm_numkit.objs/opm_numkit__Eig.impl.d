@@ -1,0 +1,1 @@
+lib/numkit/eig.ml: Array Complex Float Mat

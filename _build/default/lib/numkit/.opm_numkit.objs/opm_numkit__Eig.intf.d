@@ -1,0 +1,1 @@
+lib/numkit/eig.mli: Complex Mat

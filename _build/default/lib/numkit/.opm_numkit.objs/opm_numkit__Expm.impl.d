@@ -1,0 +1,1 @@
+lib/numkit/expm.ml: Array Float Lu Mat

@@ -1,0 +1,1 @@
+lib/numkit/expm.mli: Mat

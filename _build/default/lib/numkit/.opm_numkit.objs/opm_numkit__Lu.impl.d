@@ -1,0 +1,1 @@
+lib/numkit/lu.ml: Array Float Mat

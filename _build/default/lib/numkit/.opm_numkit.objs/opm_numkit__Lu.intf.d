@@ -1,0 +1,1 @@
+lib/numkit/lu.mli: Mat Vec

@@ -1,0 +1,1 @@
+lib/numkit/mat.ml: Array Float Format Printf

@@ -1,0 +1,1 @@
+lib/numkit/mat.mli: Format Vec

@@ -1,0 +1,1 @@
+lib/numkit/poly.ml: Array Format

@@ -1,0 +1,1 @@
+lib/numkit/poly.mli: Format

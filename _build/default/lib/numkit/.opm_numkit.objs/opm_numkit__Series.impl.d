@@ -1,0 +1,1 @@
+lib/numkit/series.ml: Array Mat

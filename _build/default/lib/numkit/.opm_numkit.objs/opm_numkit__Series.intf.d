@@ -1,0 +1,1 @@
+lib/numkit/series.mli: Mat

@@ -1,0 +1,1 @@
+lib/numkit/special.ml: Array Float

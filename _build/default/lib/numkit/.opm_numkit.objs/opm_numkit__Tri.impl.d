@@ -1,0 +1,1 @@
+lib/numkit/tri.ml: Array Float Mat

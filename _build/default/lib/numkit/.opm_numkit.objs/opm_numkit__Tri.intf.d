@@ -1,0 +1,1 @@
+lib/numkit/tri.mli: Mat Vec

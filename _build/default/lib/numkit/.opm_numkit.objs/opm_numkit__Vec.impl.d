@@ -1,0 +1,1 @@
+lib/numkit/vec.ml: Array Float Format Printf

@@ -1,0 +1,1 @@
+lib/numkit/vec.mli: Format

@@ -1,0 +1,76 @@
+(* Padé(13) coefficients for exp (Higham 2005) *)
+let pade13 =
+  [|
+    64764752532480000.0;
+    32382376266240000.0;
+    7771770303897600.0;
+    1187353796428800.0;
+    129060195264000.0;
+    10559470521600.0;
+    670442572800.0;
+    33522128640.0;
+    1323241920.0;
+    40840800.0;
+    960960.0;
+    16380.0;
+    182.0;
+    1.0;
+  |]
+
+let expm a =
+  let n, n' = Mat.dims a in
+  if n <> n' then invalid_arg "Expm.expm: non-square matrix";
+  (* scale so that ‖A/2^s‖ is comfortably inside the Padé(13) region *)
+  let norm = Mat.norm_inf a in
+  let s =
+    if norm <= 5.4 then 0
+    else int_of_float (ceil (Float.log2 (norm /. 5.4)))
+  in
+  let a = Mat.scale (1.0 /. (2.0 ** float_of_int s)) a in
+  let a2 = Mat.mul a a in
+  let a4 = Mat.mul a2 a2 in
+  let a6 = Mat.mul a2 a4 in
+  let b = pade13 in
+  let eye = Mat.eye n in
+  (* u = A·(A6·(b13 A6 + b11 A4 + b9 A2) + b7 A6 + b5 A4 + b3 A2 + b1 I) *)
+  let inner_u =
+    Mat.add
+      (Mat.mul a6
+         (Mat.add
+            (Mat.add (Mat.scale b.(13) a6) (Mat.scale b.(11) a4))
+            (Mat.scale b.(9) a2)))
+      (Mat.add
+         (Mat.add (Mat.scale b.(7) a6) (Mat.scale b.(5) a4))
+         (Mat.add (Mat.scale b.(3) a2) (Mat.scale b.(1) eye)))
+  in
+  let u = Mat.mul a inner_u in
+  (* v = A6·(b12 A6 + b10 A4 + b8 A2) + b6 A6 + b4 A4 + b2 A2 + b0 I *)
+  let v =
+    Mat.add
+      (Mat.mul a6
+         (Mat.add
+            (Mat.add (Mat.scale b.(12) a6) (Mat.scale b.(10) a4))
+            (Mat.scale b.(8) a2)))
+      (Mat.add
+         (Mat.add (Mat.scale b.(6) a6) (Mat.scale b.(4) a4))
+         (Mat.add (Mat.scale b.(2) a2) (Mat.scale b.(0) eye)))
+  in
+  (* (V − U) X = (V + U) *)
+  let x = ref (Lu.solve_mat (Lu.factor (Mat.sub v u)) (Mat.add v u)) in
+  for _ = 1 to s do
+    x := Mat.mul !x !x
+  done;
+  !x
+
+let phi1 a =
+  let n, n' = Mat.dims a in
+  if n <> n' then invalid_arg "Expm.phi1: non-square matrix";
+  (* exp [[A, I]; [0, 0]] = [[e^A, φ₁(A)]; [0, I]] *)
+  let aug =
+    Mat.init (2 * n) (2 * n) (fun i j ->
+        if i < n && j < n then Mat.get a i j
+        else if i < n && j - n = i then 1.0
+        else 0.0)
+  in
+  let e = expm aug in
+  Mat.init n n (fun i j -> Mat.get e i (j + n))

@@ -1,0 +1,18 @@
+(** Matrix exponential by scaling-and-squaring with Padé approximation.
+
+    Powers the exact-discretisation reference solver
+    ({!Opm_transient.Exact_lti}) that the convergence tests measure OPM
+    and the classical schemes against: for piecewise-constant inputs the
+    LTI update [x⁺ = e^{Ah} x + A^{−1}(e^{Ah} − I)B ū] is exact, so any
+    remaining difference is purely the method under test. *)
+
+val expm : Mat.t -> Mat.t
+(** [e^A] via the degree-13 Padé approximant with scaling and squaring
+    (the standard Higham recipe, simplified to a single Padé order with
+    norm-based scaling). Raises [Invalid_argument] on non-square
+    input. *)
+
+val phi1 : Mat.t -> Mat.t
+(** [φ₁(A) = A^{−1}(e^A − I) = Σ A^k/(k+1)!] — computed without
+    inverting [A] (works for singular [A]), via the same Padé/squaring
+    machinery applied to an augmented matrix. *)

@@ -1,0 +1,108 @@
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+(* iterative radix-2 Cooley–Tukey with bit-reversal permutation;
+   sign = -1 for the forward transform, +1 for the inverse (unnormalised) *)
+let radix2 sign x =
+  let n = Array.length x in
+  let y = Array.copy x in
+  (* bit-reversal permutation *)
+  let j = ref 0 in
+  for i = 0 to n - 2 do
+    if i < !j then begin
+      let tmp = y.(i) in
+      y.(i) <- y.(!j);
+      y.(!j) <- tmp
+    end;
+    let m = ref (n lsr 1) in
+    while !m >= 1 && !j land !m <> 0 do
+      j := !j lxor !m;
+      m := !m lsr 1
+    done;
+    j := !j lor !m
+  done;
+  let len = ref 2 in
+  while !len <= n do
+    let ang = sign *. 2.0 *. Float.pi /. float_of_int !len in
+    let wlen = { Complex.re = cos ang; im = sin ang } in
+    let i = ref 0 in
+    while !i < n do
+      let w = ref Complex.one in
+      for k = 0 to (!len / 2) - 1 do
+        let u = y.(!i + k) in
+        let v = Complex.mul y.(!i + k + (!len / 2)) !w in
+        y.(!i + k) <- Complex.add u v;
+        y.(!i + k + (!len / 2)) <- Complex.sub u v;
+        w := Complex.mul !w wlen
+      done;
+      i := !i + !len
+    done;
+    len := !len lsl 1
+  done;
+  y
+
+let dft_naive x =
+  let n = Array.length x in
+  Array.init n (fun k ->
+      let s = ref Complex.zero in
+      for j = 0 to n - 1 do
+        let ang = -2.0 *. Float.pi *. float_of_int (k * j mod n) /. float_of_int n in
+        s := Complex.add !s (Complex.mul x.(j) { Complex.re = cos ang; im = sin ang })
+      done;
+      !s)
+
+let next_power_of_two n =
+  let rec go p = if p >= n then p else go (p * 2) in
+  go 1
+
+(* Bluestein's algorithm: a DFT of arbitrary length N as a circular
+   convolution of length >= 2N-1, performed with the radix-2 FFT *)
+let bluestein x =
+  let n = Array.length x in
+  let m = next_power_of_two ((2 * n) - 1) in
+  let chirp k =
+    (* e^{-i π k² / N}; reduce k² mod 2N to avoid precision loss *)
+    let k2 = k * k mod (2 * n) in
+    let ang = -.Float.pi *. float_of_int k2 /. float_of_int n in
+    { Complex.re = cos ang; im = sin ang }
+  in
+  let a = Array.make m Complex.zero in
+  for k = 0 to n - 1 do
+    a.(k) <- Complex.mul x.(k) (chirp k)
+  done;
+  let b = Array.make m Complex.zero in
+  b.(0) <- Complex.conj (chirp 0);
+  for k = 1 to n - 1 do
+    let c = Complex.conj (chirp k) in
+    b.(k) <- c;
+    b.(m - k) <- c
+  done;
+  let fa = radix2 (-1.0) a and fb = radix2 (-1.0) b in
+  let prod = Array.init m (fun i -> Complex.mul fa.(i) fb.(i)) in
+  let conv = radix2 1.0 prod in
+  let scale = 1.0 /. float_of_int m in
+  Array.init n (fun k ->
+      Complex.mul (chirp k)
+        { Complex.re = conv.(k).Complex.re *. scale; im = conv.(k).Complex.im *. scale })
+
+let fft x =
+  let n = Array.length x in
+  if n = 0 then invalid_arg "Fft.fft: empty input";
+  if n = 1 then Array.copy x
+  else if is_power_of_two n then radix2 (-1.0) x
+  else bluestein x
+
+let ifft x =
+  let n = Array.length x in
+  if n = 0 then invalid_arg "Fft.ifft: empty input";
+  let conj = Array.map Complex.conj x in
+  let y = fft conj in
+  let scale = 1.0 /. float_of_int n in
+  Array.map (fun c -> { Complex.re = c.Complex.re *. scale; im = -.c.Complex.im *. scale }) y
+
+let fft_real x = fft (Array.map (fun re -> { Complex.re; im = 0.0 }) x)
+
+let frequencies n dt =
+  let base = 2.0 *. Float.pi /. (float_of_int n *. dt) in
+  Array.init n (fun k ->
+      if 2 * k <= n then base *. float_of_int k
+      else base *. float_of_int (k - n))

@@ -1,0 +1,27 @@
+(** Discrete Fourier transforms.
+
+    Radix-2 Cooley–Tukey for power-of-two lengths and Bluestein's chirp-z
+    algorithm for arbitrary lengths (Table I's "FFT-2" uses 100 frequency
+    samples, which is not a power of two). Conventions:
+    forward [X_k = Σ_n x_n e^{-2πi kn/N}], inverse divides by [N]. *)
+
+val is_power_of_two : int -> bool
+
+val fft : Complex.t array -> Complex.t array
+(** Forward DFT of any length ([length >= 1]). Power-of-two inputs take
+    the radix-2 path; others go through Bluestein. *)
+
+val ifft : Complex.t array -> Complex.t array
+(** Inverse DFT (normalised by [1/N]). *)
+
+val dft_naive : Complex.t array -> Complex.t array
+(** O(N²) reference implementation, used by the tests as the oracle. *)
+
+val fft_real : float array -> Complex.t array
+(** Forward DFT of a real signal. *)
+
+val frequencies : int -> float -> float array
+(** [frequencies n dt] are the angular frequencies [ω_k] (rad/s) matching
+    the DFT bin layout for [n] samples spaced [dt] apart: bins
+    [0 … n/2] map to [2πk/(n·dt)] and the upper bins to the negative
+    frequencies [2π(k−n)/(n·dt)]. *)

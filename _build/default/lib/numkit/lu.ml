@@ -1,0 +1,86 @@
+type t = { lu : Mat.t; piv : int array; sign : float }
+
+exception Singular of int
+
+let factor a =
+  let n, m = Mat.dims a in
+  if n <> m then invalid_arg "Lu.factor: non-square matrix";
+  let lu = Mat.copy a in
+  let piv = Array.init n (fun i -> i) in
+  let sign = ref 1.0 in
+  for k = 0 to n - 1 do
+    (* partial pivoting: pick the largest magnitude in column k below row k *)
+    let p = ref k in
+    for i = k + 1 to n - 1 do
+      if Float.abs (Mat.get lu i k) > Float.abs (Mat.get lu !p k) then p := i
+    done;
+    if !p <> k then begin
+      for j = 0 to n - 1 do
+        let tmp = Mat.get lu k j in
+        Mat.set lu k j (Mat.get lu !p j);
+        Mat.set lu !p j tmp
+      done;
+      let tmp = piv.(k) in
+      piv.(k) <- piv.(!p);
+      piv.(!p) <- tmp;
+      sign := -. !sign
+    end;
+    let pivot = Mat.get lu k k in
+    if Float.abs pivot < 1e-300 then raise (Singular k);
+    for i = k + 1 to n - 1 do
+      let factor = Mat.get lu i k /. pivot in
+      Mat.set lu i k factor;
+      if factor <> 0.0 then
+        for j = k + 1 to n - 1 do
+          Mat.set lu i j (Mat.get lu i j -. (factor *. Mat.get lu k j))
+        done
+    done
+  done;
+  { lu; piv; sign = !sign }
+
+let solve { lu; piv; _ } b =
+  let n, _ = Mat.dims lu in
+  if Array.length b <> n then invalid_arg "Lu.solve: dimension mismatch";
+  let x = Array.init n (fun i -> b.(piv.(i))) in
+  (* forward substitution with unit lower triangle *)
+  for i = 1 to n - 1 do
+    let s = ref x.(i) in
+    for j = 0 to i - 1 do
+      s := !s -. (Mat.get lu i j *. x.(j))
+    done;
+    x.(i) <- !s
+  done;
+  (* back substitution with upper triangle *)
+  for i = n - 1 downto 0 do
+    let s = ref x.(i) in
+    for j = i + 1 to n - 1 do
+      s := !s -. (Mat.get lu i j *. x.(j))
+    done;
+    x.(i) <- !s /. Mat.get lu i i
+  done;
+  x
+
+let solve_mat lu b =
+  let n, _ = Mat.dims lu.lu in
+  let _, cols = Mat.dims b in
+  let x = Mat.zeros n cols in
+  for j = 0 to cols - 1 do
+    Mat.set_col x j (solve lu (Mat.col b j))
+  done;
+  x
+
+let det { lu; sign; _ } =
+  let n, _ = Mat.dims lu in
+  let d = ref sign in
+  for i = 0 to n - 1 do
+    d := !d *. Mat.get lu i i
+  done;
+  !d
+
+let solve_dense a b = solve (factor a) b
+
+let inverse a =
+  let n, _ = Mat.dims a in
+  solve_mat (factor a) (Mat.eye n)
+
+let cond_estimate a = Mat.norm_inf a *. Mat.norm_inf (inverse a)

@@ -1,0 +1,35 @@
+(** Dense LU factorisation with partial pivoting.
+
+    Factors a square matrix as [P A = L U] where [P] is a row permutation,
+    [L] unit lower triangular and [U] upper triangular. The factorisation
+    is stored packed (L strictly below the diagonal, U on and above) plus
+    the pivot permutation, so one factorisation can be reused for many
+    right-hand sides — the pattern OPM's column-by-column solver relies
+    on when the time step is constant. *)
+
+type t
+
+exception Singular of int
+(** [Singular k] — a zero (or numerically negligible) pivot was met at
+    elimination step [k]; the matrix is singular to working precision. *)
+
+val factor : Mat.t -> t
+(** Raises [Invalid_argument] if the matrix is not square and
+    {!Singular} if it is singular. *)
+
+val solve : t -> Vec.t -> Vec.t
+(** [solve lu b] solves [A x = b] for the factored [A]. *)
+
+val solve_mat : t -> Mat.t -> Mat.t
+(** Solve with a matrix right-hand side (column by column). *)
+
+val det : t -> float
+
+val solve_dense : Mat.t -> Vec.t -> Vec.t
+(** One-shot [factor] + [solve]. *)
+
+val inverse : Mat.t -> Mat.t
+
+val cond_estimate : Mat.t -> float
+(** Rough condition-number estimate [‖A‖∞ · ‖A⁻¹‖∞] (forms the inverse;
+    intended for diagnostics on small systems, not hot paths). *)

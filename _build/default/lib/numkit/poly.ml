@@ -1,0 +1,79 @@
+type t = float array
+
+let normalize p =
+  let d = ref (Array.length p - 1) in
+  while !d >= 0 && p.(!d) = 0.0 do
+    decr d
+  done;
+  Array.sub p 0 (!d + 1)
+
+let degree p = Array.length (normalize p) - 1
+
+let add a b =
+  let n = max (Array.length a) (Array.length b) in
+  let coeff p k = if k < Array.length p then p.(k) else 0.0 in
+  Array.init n (fun k -> coeff a k +. coeff b k)
+
+let scale s p = Array.map (fun c -> s *. c) p
+
+let mul a b =
+  let na = Array.length a and nb = Array.length b in
+  if na = 0 || nb = 0 then [||]
+  else begin
+    let c = Array.make (na + nb - 1) 0.0 in
+    for i = 0 to na - 1 do
+      for j = 0 to nb - 1 do
+        c.(i + j) <- c.(i + j) +. (a.(i) *. b.(j))
+      done
+    done;
+    c
+  end
+
+let eval p x = Array.fold_right (fun c acc -> (acc *. x) +. c) p 0.0
+
+let derive p =
+  if Array.length p <= 1 then [||]
+  else Array.init (Array.length p - 1) (fun k -> float_of_int (k + 1) *. p.(k + 1))
+
+let integrate p =
+  Array.init
+    (Array.length p + 1)
+    (fun k -> if k = 0 then 0.0 else p.(k - 1) /. float_of_int k)
+
+let definite_integral p a b =
+  let q = integrate p in
+  eval q b -. eval q a
+
+let legendre n =
+  if n < 0 then invalid_arg "Poly.legendre: negative order";
+  let rec go k pk pk1 =
+    (* pk = P_k, pk1 = P_{k-1}; recurrence
+       (k+1) P_{k+1} = (2k+1) x P_k − k P_{k-1} *)
+    if k = n then pk
+    else
+      let fk = float_of_int k in
+      let x_pk = mul [| 0.0; 1.0 |] pk in
+      let next =
+        add
+          (scale ((2.0 *. fk) +. 1.0) x_pk)
+          (scale (-.fk) pk1)
+      in
+      go (k + 1) (scale (1.0 /. (fk +. 1.0)) next) pk
+  in
+  if n = 0 then [| 1.0 |] else go 1 [| 0.0; 1.0 |] [| 1.0 |]
+
+let shifted_legendre n =
+  (* compose P_n with 2x − 1 by Horner on polynomials *)
+  let p = legendre n in
+  let lin = [| -1.0; 2.0 |] in
+  Array.fold_right (fun c acc -> add (mul acc lin) [| c |]) p [||]
+
+let pp ppf p =
+  let p = normalize p in
+  if Array.length p = 0 then Format.fprintf ppf "0"
+  else
+    Array.iteri
+      (fun k c ->
+        if k > 0 then Format.fprintf ppf " + ";
+        Format.fprintf ppf "%g·x^%d" c k)
+      p

@@ -1,0 +1,37 @@
+(** Real polynomials, lowest degree first.
+
+    Used for characteristic polynomials of small test systems and for the
+    quadrature rules in the basis projections. The zero polynomial is the
+    empty array (or any all-zero array); [degree] of it is [-1]. *)
+
+type t = float array
+
+val normalize : t -> t
+(** Drop trailing (high-degree) zero coefficients. *)
+
+val degree : t -> int
+
+val add : t -> t -> t
+
+val scale : float -> t -> t
+
+val mul : t -> t -> t
+
+val eval : t -> float -> float
+
+val derive : t -> t
+
+val integrate : t -> t
+(** Antiderivative with zero constant term. *)
+
+val definite_integral : t -> float -> float -> float
+
+val legendre : int -> t
+(** [legendre n] is the Legendre polynomial [P_n] on [[-1, 1]] from the
+    three-term recurrence. *)
+
+val shifted_legendre : int -> t
+(** [shifted_legendre n] is [P_n(2x − 1)], orthogonal on [[0, 1]] — the
+    basis family the paper lists as an alternative to BPFs. *)
+
+val pp : Format.formatter -> t -> unit

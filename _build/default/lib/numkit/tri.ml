@@ -1,0 +1,87 @@
+exception Singular of int
+exception Confluent_diagonal of int * int
+
+let check_square name a =
+  let n, m = Mat.dims a in
+  if n <> m then invalid_arg ("Tri." ^ name ^ ": non-square matrix");
+  n
+
+let solve_upper u b =
+  let n = check_square "solve_upper" u in
+  if Array.length b <> n then invalid_arg "Tri.solve_upper: dimension mismatch";
+  let x = Array.copy b in
+  for i = n - 1 downto 0 do
+    let s = ref x.(i) in
+    for j = i + 1 to n - 1 do
+      s := !s -. (Mat.get u i j *. x.(j))
+    done;
+    let d = Mat.get u i i in
+    if d = 0.0 then raise (Singular i);
+    x.(i) <- !s /. d
+  done;
+  x
+
+let solve_lower l b =
+  let n = check_square "solve_lower" l in
+  if Array.length b <> n then invalid_arg "Tri.solve_lower: dimension mismatch";
+  let x = Array.copy b in
+  for i = 0 to n - 1 do
+    let s = ref x.(i) in
+    for j = 0 to i - 1 do
+      s := !s -. (Mat.get l i j *. x.(j))
+    done;
+    let d = Mat.get l i i in
+    if d = 0.0 then raise (Singular i);
+    x.(i) <- !s /. d
+  done;
+  x
+
+let invert_upper u =
+  let n = check_square "invert_upper" u in
+  let inv = Mat.zeros n n in
+  (* column j of the inverse solves U x = e_j; exploit that x vanishes
+     below index j *)
+  for j = 0 to n - 1 do
+    let d = Mat.get u j j in
+    if d = 0.0 then raise (Singular j);
+    Mat.set inv j j (1.0 /. d);
+    for i = j - 1 downto 0 do
+      let s = ref 0.0 in
+      for k = i + 1 to j do
+        s := !s +. (Mat.get u i k *. Mat.get inv k j)
+      done;
+      let dii = Mat.get u i i in
+      if dii = 0.0 then raise (Singular i);
+      Mat.set inv i j (-. !s /. dii)
+    done
+  done;
+  inv
+
+let parlett f t =
+  let n = check_square "parlett" t in
+  let fm = Mat.zeros n n in
+  for i = 0 to n - 1 do
+    Mat.set fm i i (f (Mat.get t i i))
+  done;
+  (* sweep superdiagonals outward so every F_ik, F_kj needed is ready *)
+  for sd = 1 to n - 1 do
+    for i = 0 to n - 1 - sd do
+      let j = i + sd in
+      let tii = Mat.get t i i and tjj = Mat.get t j j in
+      let denom = tjj -. tii in
+      let scale = Float.max (Float.abs tii) (Float.abs tjj) in
+      if Float.abs denom <= 1e-12 *. Float.max scale 1.0 then
+        raise (Confluent_diagonal (i, j));
+      let s = ref (Mat.get t i j *. (Mat.get fm j j -. Mat.get fm i i)) in
+      for k = i + 1 to j - 1 do
+        s :=
+          !s
+          +. (Mat.get t i k *. Mat.get fm k j)
+          -. (Mat.get fm i k *. Mat.get t k j)
+      done;
+      Mat.set fm i j (!s /. denom)
+    done
+  done;
+  fm
+
+let fractional_power t alpha = parlett (fun x -> x ** alpha) t

@@ -1,0 +1,37 @@
+(** Triangular-matrix algorithms.
+
+    Every operational matrix in OPM ([H], [D], [D^α], their adaptive-step
+    variants) is upper triangular, so the library leans on dedicated
+    triangular kernels: substitution solves, inversion, and the Parlett
+    recurrence for matrix functions — the tool behind the paper's
+    eigendecomposition-based [D̃^α] of eq. (25) (valid when all diagonal
+    entries are pairwise distinct, i.e. no two adaptive steps equal). *)
+
+exception Singular of int
+(** Zero diagonal entry at the given index. *)
+
+exception Confluent_diagonal of int * int
+(** {!parlett} found two (numerically) equal diagonal entries; the
+    recurrence divides by their difference. The payload is the offending
+    index pair. *)
+
+val solve_upper : Mat.t -> Vec.t -> Vec.t
+(** Back substitution [U x = b]. *)
+
+val solve_lower : Mat.t -> Vec.t -> Vec.t
+(** Forward substitution [L x = b] (general lower triangular, not
+    necessarily unit diagonal). *)
+
+val invert_upper : Mat.t -> Mat.t
+
+val parlett : (float -> float) -> Mat.t -> Mat.t
+(** [parlett f t] evaluates the matrix function [f(T)] of an upper
+    triangular [T] with pairwise distinct diagonal by the Parlett
+    recurrence (from the commutation [T F = F T]):
+    [F_ii = f(T_ii)],
+    [F_ij = (T_ij (F_jj − F_ii) + Σ_{i<k<j} (T_ik F_kj − F_ik T_kj)) / (T_jj − T_ii)].
+    Raises {!Confluent_diagonal} when the diagonal is not separated. *)
+
+val fractional_power : Mat.t -> float -> Mat.t
+(** [fractional_power t alpha] is [parlett (fun x -> x ** alpha) t];
+    intended for triangular matrices with positive distinct diagonal. *)

@@ -1,0 +1,1 @@
+lib/signal/error.ml: Array Float Opm_numkit Vec Waveform

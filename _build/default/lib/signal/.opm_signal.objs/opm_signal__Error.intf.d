@@ -1,0 +1,1 @@
+lib/signal/error.mli: Waveform

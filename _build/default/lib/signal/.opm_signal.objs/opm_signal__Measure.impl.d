@@ -1,0 +1,1 @@
+lib/signal/measure.ml: Array Float Waveform

@@ -1,0 +1,1 @@
+lib/signal/source.ml: Float Format List

@@ -1,0 +1,1 @@
+lib/signal/spectrum.ml: Array Complex Fft Float Opm_numkit Waveform

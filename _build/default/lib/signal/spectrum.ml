@@ -1,0 +1,66 @@
+open Opm_numkit
+
+let harmonic_amplitude w ~channel ~freq_hz =
+  let times = w.Waveform.times in
+  let y = Waveform.channel w channel in
+  let n = Array.length times in
+  if n < 4 then invalid_arg "Spectrum.harmonic_amplitude: too few samples";
+  let span = times.(n - 1) -. times.(0) in
+  let omega = 2.0 *. Float.pi *. freq_hz in
+  (* trapezoid-weighted correlation: (2/T)∫ y e^{−jωt} dt *)
+  let re = ref 0.0 and im = ref 0.0 in
+  for k = 0 to n - 2 do
+    let dt = times.(k + 1) -. times.(k) in
+    let f t v = (v *. cos (omega *. t), -.(v *. sin (omega *. t))) in
+    let r0, i0 = f times.(k) y.(k) in
+    let r1, i1 = f times.(k + 1) y.(k + 1) in
+    re := !re +. (0.5 *. dt *. (r0 +. r1));
+    im := !im +. (0.5 *. dt *. (i0 +. i1))
+  done;
+  2.0 /. span *. sqrt ((!re *. !re) +. (!im *. !im))
+
+let harmonics w ~channel ~fundamental_hz ~count =
+  if count < 1 then invalid_arg "Spectrum.harmonics: count < 1";
+  Array.init count (fun k ->
+      harmonic_amplitude w ~channel
+        ~freq_hz:(float_of_int (k + 1) *. fundamental_hz))
+
+let thd w ~channel ~fundamental_hz ?(count = 10) () =
+  let a = harmonics w ~channel ~fundamental_hz ~count in
+  if a.(0) = 0.0 then invalid_arg "Spectrum.thd: zero fundamental";
+  let upper = ref 0.0 in
+  for k = 1 to count - 1 do
+    upper := !upper +. (a.(k) *. a.(k))
+  done;
+  sqrt !upper /. a.(0)
+
+let magnitude ?(window = `Hann) w ~channel =
+  let times = w.Waveform.times in
+  let n_raw = Array.length times in
+  if n_raw < 4 then invalid_arg "Spectrum.magnitude: too few samples";
+  (* resample to the next power of two ≥ the raw sample count *)
+  let n =
+    let rec up p = if p >= n_raw then p else up (2 * p) in
+    up 64
+  in
+  let t0 = times.(0) and t1 = times.(n_raw - 1) in
+  let dt = (t1 -. t0) /. float_of_int (n - 1) in
+  let grid = Array.init n (fun k -> t0 +. (float_of_int k *. dt)) in
+  let resampled = Waveform.resample w grid in
+  let y = Waveform.channel resampled channel in
+  let windowed =
+    Array.mapi
+      (fun k v ->
+        match window with
+        | `Rect -> v
+        | `Hann ->
+            let c =
+              0.5 *. (1.0 -. cos (2.0 *. Float.pi *. float_of_int k /. float_of_int (n - 1)))
+            in
+            v *. c)
+      y
+  in
+  let spec = Fft.fft_real windowed in
+  let scale = 2.0 /. float_of_int n in
+  Array.init ((n / 2) + 1) (fun k ->
+      (float_of_int k /. (float_of_int n *. dt), scale *. Complex.norm spec.(k)))

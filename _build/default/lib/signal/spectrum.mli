@@ -1,0 +1,31 @@
+(** Frequency-domain views of sampled waveforms.
+
+    Harmonic amplitudes are extracted by direct correlation against
+    [e^{−j2πkf₀t}] over the waveform's span (not FFT bins), so they are
+    leakage-free whenever the record holds an integer number of
+    fundamental periods — the right tool for distortion measurements on
+    simulated steady-state waveforms. A windowed FFT magnitude view is
+    provided for exploratory spectra. *)
+
+val harmonic_amplitude :
+  Waveform.t -> channel:int -> freq_hz:float -> float
+(** Amplitude of the [freq_hz] component (peak, not RMS), by trapezoid-
+    weighted correlation over the full record. *)
+
+val harmonics :
+  Waveform.t -> channel:int -> fundamental_hz:float -> count:int -> float array
+(** Amplitudes of harmonics [1·f₀ … count·f₀]. *)
+
+val thd : Waveform.t -> channel:int -> fundamental_hz:float -> ?count:int -> unit -> float
+(** Total harmonic distortion
+    [√(Σ_{k=2}^{count} A_k²)/A₁] (default [count = 10]). Raises
+    [Invalid_argument] when the fundamental amplitude is zero. *)
+
+val magnitude :
+  ?window:[ `Rect | `Hann ] ->
+  Waveform.t ->
+  channel:int ->
+  (float * float) array
+(** FFT magnitude spectrum [(f_Hz, |Y|)] up to Nyquist, after
+    resampling the channel onto a uniform power-of-two grid.
+    [`Hann] (default) tapers leakage for non-periodic records. *)

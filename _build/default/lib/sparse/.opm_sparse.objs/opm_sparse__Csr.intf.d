@@ -1,0 +1,1 @@
+lib/sparse/csr.mli: Mat Opm_numkit Vec

@@ -1,0 +1,1 @@
+lib/sparse/rcm.ml: Array Coo Csr List

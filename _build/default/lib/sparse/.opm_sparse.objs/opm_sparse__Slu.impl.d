@@ -1,0 +1,1 @@
+lib/sparse/slu.ml: Array Csr Float List Rcm Stack

@@ -1,0 +1,1 @@
+lib/sparse/slu.mli: Csr Opm_numkit Vec

@@ -1,0 +1,96 @@
+open Opm_numkit
+
+type t = {
+  rows : int;
+  cols : int;
+  mutable ri : int array;
+  mutable ci : int array;
+  mutable vs : float array;
+  mutable len : int;
+}
+
+let create ~rows ~cols =
+  if rows < 0 || cols < 0 then invalid_arg "Coo.create: negative dimension";
+  { rows; cols; ri = Array.make 16 0; ci = Array.make 16 0; vs = Array.make 16 0.0; len = 0 }
+
+let grow t =
+  let cap = Array.length t.ri in
+  let ncap = max 16 (2 * cap) in
+  let copy_into a zero =
+    let b = Array.make ncap zero in
+    Array.blit a 0 b 0 t.len;
+    b
+  in
+  t.ri <- copy_into t.ri 0;
+  t.ci <- copy_into t.ci 0;
+  t.vs <- copy_into t.vs 0.0
+
+let add t i j v =
+  if i < 0 || i >= t.rows || j < 0 || j >= t.cols then
+    invalid_arg
+      (Printf.sprintf "Coo.add: (%d, %d) out of bounds for %dx%d" i j t.rows t.cols);
+  if t.len = Array.length t.ri then grow t;
+  t.ri.(t.len) <- i;
+  t.ci.(t.len) <- j;
+  t.vs.(t.len) <- v;
+  t.len <- t.len + 1
+
+let rows t = t.rows
+
+let cols t = t.cols
+
+let entry_count t = t.len
+
+let to_csr t =
+  (* sort triplets by (row, col), then merge duplicates *)
+  let idx = Array.init t.len Fun.id in
+  Array.sort
+    (fun a b ->
+      let c = compare t.ri.(a) t.ri.(b) in
+      if c <> 0 then c else compare t.ci.(a) t.ci.(b))
+    idx;
+  let row_ptr = Array.make (t.rows + 1) 0 in
+  let col_acc = ref [] and val_acc = ref [] and total = ref 0 in
+  let k = ref 0 in
+  for i = 0 to t.rows - 1 do
+    let row_cols = ref [] and row_vals = ref [] in
+    while !k < t.len && t.ri.(idx.(!k)) = i do
+      let j = t.ci.(idx.(!k)) in
+      let v = ref 0.0 in
+      while !k < t.len && t.ri.(idx.(!k)) = i && t.ci.(idx.(!k)) = j do
+        v := !v +. t.vs.(idx.(!k));
+        incr k
+      done;
+      if !v <> 0.0 then begin
+        row_cols := j :: !row_cols;
+        row_vals := !v :: !row_vals;
+        incr total
+      end
+    done;
+    col_acc := List.rev !row_cols :: !col_acc;
+    val_acc := List.rev !row_vals :: !val_acc;
+    row_ptr.(i + 1) <- !total
+  done;
+  let col_ind = Array.make !total 0 and values = Array.make !total 0.0 in
+  let pos = ref 0 in
+  List.iter2
+    (fun cs vs ->
+      List.iter2
+        (fun c v ->
+          col_ind.(!pos) <- c;
+          values.(!pos) <- v;
+          incr pos)
+        cs vs)
+    (List.rev !col_acc) (List.rev !val_acc);
+  { Csr.rows = t.rows; cols = t.cols; row_ptr; col_ind; values }
+
+let of_dense d =
+  let r, c = Mat.dims d in
+  let t = create ~rows:r ~cols:c in
+  for i = 0 to r - 1 do
+    for j = 0 to c - 1 do
+      let v = Mat.get d i j in
+      if v <> 0.0 then add t i j v
+    done
+  done;
+  t

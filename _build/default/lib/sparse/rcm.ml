@@ -1,0 +1,75 @@
+let symmetrized_adjacency a =
+  let n, m = Csr.dims a in
+  if n <> m then invalid_arg "Rcm.ordering: non-square matrix";
+  let at = Csr.transpose a in
+  let pat = Csr.add a at in
+  (* adjacency lists excluding the diagonal *)
+  Array.init n (fun i ->
+      let row = ref [] in
+      for k = pat.Csr.row_ptr.(i) to pat.Csr.row_ptr.(i + 1) - 1 do
+        let j = pat.Csr.col_ind.(k) in
+        if j <> i then row := j :: !row
+      done;
+      Array.of_list (List.rev !row))
+
+let ordering a =
+  let adj = symmetrized_adjacency a in
+  let n = Array.length adj in
+  let degree = Array.map Array.length adj in
+  let visited = Array.make n false in
+  let order = Array.make n 0 in
+  let pos = ref 0 in
+  let push v =
+    visited.(v) <- true;
+    order.(!pos) <- v;
+    incr pos
+  in
+  (* BFS queue as growing indices into [order] *)
+  let rec component () =
+    if !pos < n then begin
+      (* start a new component from an unvisited min-degree vertex *)
+      let start = ref (-1) in
+      for v = n - 1 downto 0 do
+        if (not visited.(v)) && (!start < 0 || degree.(v) < degree.(!start))
+        then start := v
+      done;
+      let head = ref !pos in
+      push !start;
+      while !head < !pos do
+        let v = order.(!head) in
+        incr head;
+        let neighbours =
+          Array.to_list adj.(v)
+          |> List.filter (fun u -> not visited.(u))
+          |> List.sort_uniq (fun a b ->
+                 let c = compare degree.(a) degree.(b) in
+                 if c <> 0 then c else compare a b)
+        in
+        List.iter push neighbours
+      done;
+      component ()
+    end
+  in
+  component ();
+  (* reverse for RCM *)
+  Array.init n (fun i -> order.(n - 1 - i))
+
+let inverse p =
+  let n = Array.length p in
+  let inv = Array.make n 0 in
+  Array.iteri (fun i v -> inv.(v) <- i) p;
+  inv
+
+let permute_symmetric a p =
+  let n, m = Csr.dims a in
+  if n <> m then invalid_arg "Rcm.permute_symmetric: non-square matrix";
+  if Array.length p <> n then invalid_arg "Rcm.permute_symmetric: bad permutation";
+  let pinv = inverse p in
+  let coo = Coo.create ~rows:n ~cols:n in
+  Csr.iter (fun i j v -> Coo.add coo pinv.(i) pinv.(j) v) a;
+  Coo.to_csr coo
+
+let bandwidth a =
+  let bw = ref 0 in
+  Csr.iter (fun i j _ -> bw := max !bw (abs (i - j))) a;
+  !bw

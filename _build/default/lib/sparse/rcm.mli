@@ -1,0 +1,24 @@
+(** Reverse Cuthill–McKee fill-reducing ordering.
+
+    Circuit matrices factor with dramatically less fill when rows and
+    columns are permuted to cluster the nonzeros near the diagonal;
+    RCM does that by a degree-ordered breadth-first traversal of the
+    symmetrised sparsity graph, reversed. MNA matrices in particular
+    need it: the convention of appending branch-current rows after all
+    node rows scatters the coupling far off the diagonal. *)
+
+val ordering : Csr.t -> int array
+(** [ordering a] is a permutation [p] (new position → old index) for
+    the square matrix [a], computed on the pattern of [a + aᵀ].
+    Disconnected components are each started from a minimum-degree
+    vertex. Raises [Invalid_argument] on non-square input. *)
+
+val permute_symmetric : Csr.t -> int array -> Csr.t
+(** [permute_symmetric a p] is [a'] with [a'_{ij} = a_{p(i) p(j)}]. *)
+
+val inverse : int array -> int array
+(** Inverse permutation. *)
+
+val bandwidth : Csr.t -> int
+(** Maximum distance of a nonzero from the diagonal — the quantity RCM
+    shrinks (diagnostic). *)

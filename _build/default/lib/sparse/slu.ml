@@ -1,0 +1,209 @@
+exception Singular of int
+
+(* factor columns stored as parallel index/value arrays *)
+type col = { idx : int array; vals : float array }
+
+type t = {
+  n : int;
+  l_cols : col array;  (** strictly-below-pivot part, scaled by 1/pivot *)
+  u_cols : col array;  (** at-or-above-pivot part in pivot coordinates,
+                           including the diagonal as the last entry *)
+  pinv : int array;  (** row -> pivot position *)
+  perm : int array;  (** pivot position -> row *)
+  sym : int array option;  (** fill-reducing symmetric permutation
+                               (new -> old), when one was applied *)
+}
+
+let nnz_factors f =
+  Array.fold_left (fun acc c -> acc + Array.length c.idx) 0 f.l_cols
+  + Array.fold_left (fun acc c -> acc + Array.length c.idx) 0 f.u_cols
+
+(* depth-first search from [start] through the columns of L restricted to
+   pivotal rows; emits vertices in post-order onto [stack] *)
+let reach ~pinv ~l_cols ~marked ~mark ~stack ~top start =
+  let work = Stack.create () in
+  if marked.(start) <> mark then begin
+    marked.(start) <- mark;
+    Stack.push (start, ref 0) work
+  end;
+  while not (Stack.is_empty work) do
+    let v, child = Stack.top work in
+    let k = pinv.(v) in
+    let children = if k >= 0 then l_cols.(k).idx else [||] in
+    if !child < Array.length children then begin
+      let c = children.(!child) in
+      incr child;
+      if marked.(c) <> mark then begin
+        marked.(c) <- mark;
+        Stack.push (c, ref 0) work
+      end
+    end
+    else begin
+      ignore (Stack.pop work);
+      stack.(!top) <- v;
+      incr top
+    end
+  done
+
+(* Gilbert–Peierls left-looking factorisation with threshold pivoting:
+   the diagonal candidate is taken whenever it is within [pivot_tol] of
+   the largest candidate, preserving the (fill-reducing) ordering. *)
+let factor_ordered ~pivot_tol a sym =
+  let n, m = Csr.dims a in
+  if n <> m then invalid_arg "Slu.factor: non-square matrix";
+  (* column access: work on Aᵀ in CSR = A in CSC *)
+  let at = Csr.transpose a in
+  let l_cols = Array.make n { idx = [||]; vals = [||] } in
+  let u_cols = Array.make n { idx = [||]; vals = [||] } in
+  let pinv = Array.make n (-1) in
+  let perm = Array.make n (-1) in
+  let x = Array.make n 0.0 in
+  let marked = Array.make n (-1) in
+  let stack = Array.make n 0 in
+  for j = 0 to n - 1 do
+    (* symbolic: union of reaches from the pattern of A(:,j) *)
+    let top = ref 0 in
+    let row_start = at.Csr.row_ptr.(j) and row_end = at.Csr.row_ptr.(j + 1) in
+    for k = row_start to row_end - 1 do
+      reach ~pinv ~l_cols ~marked ~mark:j ~stack ~top at.Csr.col_ind.(k)
+    done;
+    let count = !top in
+    (* numeric: scatter A(:,j), then eliminate in topological order
+       (reverse post-order) *)
+    for k = row_start to row_end - 1 do
+      x.(at.Csr.col_ind.(k)) <- at.Csr.values.(k)
+    done;
+    for s = count - 1 downto 0 do
+      let v = stack.(s) in
+      let k = pinv.(v) in
+      if k >= 0 then begin
+        let xv = x.(v) in
+        if xv <> 0.0 then begin
+          let lc = l_cols.(k) in
+          for t = 0 to Array.length lc.idx - 1 do
+            x.(lc.idx.(t)) <- x.(lc.idx.(t)) -. (lc.vals.(t) *. xv)
+          done
+        end
+      end
+    done;
+    (* partition into U part (pivotal rows) and candidate pivot rows *)
+    let u_idx = ref [] and u_vals = ref [] and u_len = ref 0 in
+    let cand_idx = ref [] and cand_vals = ref [] in
+    let best = ref (-1) and best_mag = ref 0.0 in
+    let diag_val = ref 0.0 and diag_present = ref false in
+    for s = 0 to count - 1 do
+      let v = stack.(s) in
+      let xv = x.(v) in
+      if pinv.(v) >= 0 then begin
+        u_idx := pinv.(v) :: !u_idx;
+        u_vals := xv :: !u_vals;
+        incr u_len
+      end
+      else begin
+        cand_idx := v :: !cand_idx;
+        cand_vals := xv :: !cand_vals;
+        if v = j then begin
+          diag_val := xv;
+          diag_present := true
+        end;
+        if Float.abs xv > !best_mag then begin
+          best_mag := Float.abs xv;
+          best := v
+        end
+      end;
+      x.(v) <- 0.0
+    done;
+    if !best < 0 || !best_mag < 1e-300 then raise (Singular j);
+    (* threshold pivoting: keep the diagonal when it is big enough *)
+    let pivot_row =
+      if !diag_present && Float.abs !diag_val >= pivot_tol *. !best_mag then j
+      else !best
+    in
+    let pivot_val = ref 0.0 in
+    (* L column: candidates except the pivot, divided by the pivot *)
+    let l_idx = ref [] and l_vals = ref [] in
+    List.iter2
+      (fun v xv ->
+        if v = pivot_row then pivot_val := xv
+        else begin
+          l_idx := v :: !l_idx;
+          l_vals := xv :: !l_vals
+        end)
+      !cand_idx !cand_vals;
+    let piv = !pivot_val in
+    l_cols.(j) <-
+      {
+        idx = Array.of_list !l_idx;
+        vals = Array.of_list (List.map (fun v -> v /. piv) !l_vals);
+      };
+    (* U column: pivotal entries sorted by pivot position, diagonal last *)
+    let pairs = List.combine !u_idx !u_vals in
+    let pairs = List.sort (fun (a, _) (b, _) -> compare a b) pairs in
+    let u_n = !u_len + 1 in
+    let ui = Array.make u_n 0 and uv = Array.make u_n 0.0 in
+    List.iteri
+      (fun t (p, v) ->
+        ui.(t) <- p;
+        uv.(t) <- v)
+      pairs;
+    ui.(u_n - 1) <- j;
+    uv.(u_n - 1) <- piv;
+    u_cols.(j) <- { idx = ui; vals = uv };
+    pinv.(pivot_row) <- j;
+    perm.(j) <- pivot_row
+  done;
+  { n; l_cols; u_cols; pinv; perm; sym }
+
+let factor ?(ordering = `Rcm) ?(pivot_tol = 0.1) a =
+  match ordering with
+  | `Natural -> factor_ordered ~pivot_tol a None
+  | `Rcm ->
+      let p = Rcm.ordering a in
+      let a' = Rcm.permute_symmetric a p in
+      factor_ordered ~pivot_tol a' (Some p)
+
+let solve_inner f b =
+  (* forward: L y = P b; the L updates reference original row ids, so the
+     elimination runs on a scratch copy indexed by rows while y collects
+     the values in pivot order *)
+  let y = Array.make f.n 0.0 in
+  let xr = Array.copy b in
+  for k = 0 to f.n - 1 do
+    let row = f.perm.(k) in
+    let xv = xr.(row) in
+    y.(k) <- xv;
+    if xv <> 0.0 then begin
+      let lc = f.l_cols.(k) in
+      for t = 0 to Array.length lc.idx - 1 do
+        xr.(lc.idx.(t)) <- xr.(lc.idx.(t)) -. (lc.vals.(t) *. xv)
+      done
+    end
+  done;
+  (* backward: U x = y, with U stored by columns (diagonal last) *)
+  let x = y in
+  for j = f.n - 1 downto 0 do
+    let uc = f.u_cols.(j) in
+    let u_n = Array.length uc.idx in
+    let diag = uc.vals.(u_n - 1) in
+    let xj = x.(j) /. diag in
+    x.(j) <- xj;
+    if xj <> 0.0 then
+      for t = 0 to u_n - 2 do
+        x.(uc.idx.(t)) <- x.(uc.idx.(t)) -. (uc.vals.(t) *. xj)
+      done
+  done;
+  x
+
+let solve f b =
+  if Array.length b <> f.n then invalid_arg "Slu.solve: dimension mismatch";
+  match f.sym with
+  | None -> solve_inner f b
+  | Some p ->
+      (* A' = P A Pᵀ with (Pz)(i) = z(p(i)): solve A'(Px) = Pb *)
+      let b' = Array.init f.n (fun i -> b.(p.(i))) in
+      let x' = solve_inner f b' in
+      let x = Array.make f.n 0.0 in
+      Array.iteri (fun i v -> x.(p.(i)) <- v) x';
+      x
+
+let solve_dense a b = solve (factor a) b

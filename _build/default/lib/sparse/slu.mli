@@ -1,0 +1,39 @@
+open Opm_numkit
+
+(** Sparse LU factorisation (Gilbert–Peierls left-looking algorithm with
+    partial pivoting).
+
+    This is the [O(n^β)] "matrix-vector solving" primitive of the paper's
+    complexity analysis (§IV): circuit matrices [E, A] have [O(n)]
+    nonzeros, and OPM factors [d_ii·E − A] once per distinct diagonal
+    entry of the operational matrix, then back-solves per column.
+
+    Each column of the factors is computed by a sparse triangular solve
+    whose nonzero pattern is found by depth-first search on the graph of
+    the already-computed [L] (the classic GP reach), so the work is
+    proportional to arithmetic operations, not to [n].
+
+    Fill is controlled two ways: a symmetric {!Rcm} reordering applied
+    before the factorisation (default), and *threshold* pivoting — the
+    diagonal candidate is kept whenever its magnitude is within
+    [pivot_tol] of the column maximum, so the fill-reducing order
+    survives; otherwise the column maximum is chosen (stability first). *)
+
+type t
+
+exception Singular of int
+(** Numerically zero pivot column. *)
+
+val factor : ?ordering:[ `Rcm | `Natural ] -> ?pivot_tol:float -> Csr.t -> t
+(** Default [ordering = `Rcm], [pivot_tol = 0.1]. [pivot_tol = 1.0]
+    recovers strict partial pivoting. Raises [Invalid_argument] on
+    non-square input, {!Singular} when no acceptable pivot exists. *)
+
+val solve : t -> Vec.t -> Vec.t
+(** Solve [A x = b] reusing the factorisation. *)
+
+val solve_dense : Csr.t -> Vec.t -> Vec.t
+(** One-shot convenience. *)
+
+val nnz_factors : t -> int
+(** Fill-in diagnostic: nonzeros of [L] + [U]. *)

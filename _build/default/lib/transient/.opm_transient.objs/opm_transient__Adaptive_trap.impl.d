@@ -1,0 +1,1 @@
+lib/transient/adaptive_trap.ml: Array Descriptor Float List Lu Mat Opm_core Opm_numkit Opm_signal Option Source Vec Waveform

@@ -1,0 +1,1 @@
+lib/transient/adaptive_trap.mli: Descriptor Opm_core Opm_signal Source Waveform

@@ -1,0 +1,1 @@
+lib/transient/exact_lti.ml: Array Descriptor Expm Lu Mat Opm_core Opm_numkit Opm_signal Option Source Vec Waveform

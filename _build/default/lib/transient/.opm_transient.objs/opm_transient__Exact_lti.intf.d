@@ -1,0 +1,1 @@
+lib/transient/exact_lti.mli: Descriptor Opm_core Opm_numkit Opm_signal Source Waveform

@@ -1,0 +1,1 @@
+lib/transient/freq_domain.ml: Array Cmat Complex Csr Descriptor Fft Mat Opm_core Opm_numkit Opm_signal Opm_sparse Source Waveform

@@ -1,0 +1,1 @@
+lib/transient/freq_domain.mli: Descriptor Opm_core Opm_signal Source Waveform

@@ -1,0 +1,1 @@
+lib/transient/grunwald.ml: Array Csr Descriptor Mat Opm_core Opm_numkit Opm_signal Opm_sparse Slu Source Vec Waveform

@@ -1,0 +1,1 @@
+lib/transient/grunwald.mli: Descriptor Opm_core Opm_signal Source Waveform

@@ -1,0 +1,1 @@
+lib/transient/periodic.ml: Array Descriptor Exact_lti Expm Lu Mat Opm_core Opm_numkit Opm_signal Vec

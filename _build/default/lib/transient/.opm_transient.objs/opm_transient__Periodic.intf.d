@@ -1,0 +1,1 @@
+lib/transient/periodic.mli: Descriptor Opm_core Opm_numkit Opm_signal Source Waveform

@@ -1,0 +1,1 @@
+lib/transient/stepper.mli: Descriptor Opm_core Opm_signal Source Waveform

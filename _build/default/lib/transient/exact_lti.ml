@@ -1,0 +1,32 @@
+open Opm_numkit
+open Opm_signal
+open Opm_core
+
+let solve ?x0 ~h ~t_end (sys : Descriptor.t) sources =
+  if h <= 0.0 || t_end <= 0.0 then invalid_arg "Exact_lti.solve: bad arguments";
+  let n = Descriptor.order sys in
+  let p = Descriptor.input_count sys in
+  if Array.length sources <> p then
+    invalid_arg "Exact_lti.solve: source count mismatch";
+  let x0 = Option.value x0 ~default:(Vec.zeros n) in
+  let e_lu = Lu.factor (Descriptor.e_dense sys) in
+  let a' = Lu.solve_mat e_lu (Descriptor.a_dense sys) in
+  let b' = Lu.solve_mat e_lu sys.Descriptor.b in
+  let ah = Mat.scale h a' in
+  let phi0 = Expm.expm ah in
+  let gamma = Mat.scale h (Mat.mul (Expm.phi1 ah) b') in
+  let steps = int_of_float (ceil ((t_end /. h) -. 1e-9)) in
+  let times = Array.init (steps + 1) (fun k -> float_of_int k *. h) in
+  let xs = Array.make (steps + 1) x0 in
+  for k = 1 to steps do
+    let u_avg =
+      Array.map (fun src -> Source.average src times.(k - 1) times.(k)) sources
+    in
+    xs.(k) <- Vec.add (Mat.mul_vec phi0 xs.(k - 1)) (Mat.mul_vec gamma u_avg)
+  done;
+  let q = Descriptor.output_count sys in
+  let channels =
+    Array.init q (fun i ->
+        Array.map (fun x -> Vec.dot (Mat.row sys.Descriptor.c i) x) xs)
+  in
+  Waveform.make ~labels:sys.Descriptor.output_names times channels

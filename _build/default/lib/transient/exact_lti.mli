@@ -1,0 +1,28 @@
+open Opm_signal
+open Opm_core
+
+(** Exact discretisation of LTI ODE systems.
+
+    For [E ẋ = A x + B u] with *invertible* [E] and an input held at
+    its interval average, the update
+
+    [x_{k+1} = e^{A'h} x_k + h·φ₁(A'h)·B' ū_k]   ([A' = E^{−1}A],
+    [B' = E^{−1}B], [φ₁(z) = (e^z − 1)/z])
+
+    is exact — no time-discretisation error at the sample points at
+    all. This is the gold-standard reference for convergence studies of
+    OPM and the classical schemes: whatever differs is the method's own
+    error, not the reference's. DAEs (singular [E]) are rejected — use
+    a fine trapezoidal reference there. *)
+
+val solve :
+  ?x0:Opm_numkit.Vec.t ->
+  h:float ->
+  t_end:float ->
+  Descriptor.t ->
+  Source.t array ->
+  Waveform.t
+(** Output waveform at [t_k = k·h]. Raises
+    [Opm_numkit.Lu.Singular] when [E] is singular. The input is
+    averaged exactly over each interval ({!Source.average}), matching
+    OPM's block-pulse projection. *)

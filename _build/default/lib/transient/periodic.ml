@@ -1,0 +1,41 @@
+open Opm_numkit
+open Opm_core
+
+let transition ~period ~steps_per_period (sys : Descriptor.t) sources =
+  if period <= 0.0 || steps_per_period < 1 then
+    invalid_arg "Periodic: bad period/steps";
+  let n = Descriptor.order sys in
+  let e_lu = Lu.factor (Descriptor.e_dense sys) in
+  let a' = Lu.solve_mat e_lu (Descriptor.a_dense sys) in
+  let b' = Lu.solve_mat e_lu sys.Descriptor.b in
+  let h = period /. float_of_int steps_per_period in
+  let ah = Mat.scale h a' in
+  let phi = Expm.expm ah in
+  let gamma = Mat.scale h (Mat.mul (Expm.phi1 ah) b') in
+  (* one-period map: x(T) = Φ_T x(0) + d, accumulated step by step *)
+  let phi_total = ref (Mat.eye n) in
+  let d = ref (Vec.zeros n) in
+  for k = 0 to steps_per_period - 1 do
+    let t0 = float_of_int k *. h in
+    let u_avg =
+      Array.map
+        (fun src -> Opm_signal.Source.average src t0 (t0 +. h))
+        sources
+    in
+    d := Vec.add (Mat.mul_vec phi !d) (Mat.mul_vec gamma u_avg);
+    phi_total := Mat.mul phi !phi_total
+  done;
+  (!phi_total, !d)
+
+let steady_initial_state ~period ~steps_per_period sys sources =
+  if Array.length sources <> Descriptor.input_count sys then
+    invalid_arg "Periodic: source count mismatch";
+  let phi_total, d = transition ~period ~steps_per_period sys sources in
+  let n = Descriptor.order sys in
+  Lu.solve_dense (Mat.sub (Mat.eye n) phi_total) d
+
+let solve ~periods ~period ~steps_per_period sys sources =
+  if periods < 1 then invalid_arg "Periodic.solve: periods < 1";
+  let x0 = steady_initial_state ~period ~steps_per_period sys sources in
+  let h = period /. float_of_int steps_per_period in
+  Exact_lti.solve ~x0 ~h ~t_end:(float_of_int periods *. period) sys sources

@@ -1,0 +1,36 @@
+open Opm_signal
+open Opm_core
+
+(** Periodic steady-state analysis (the "shooting" method, closed-form
+    for LTI systems).
+
+    For [E ẋ = A x + B u] with invertible [E] and a [T]-periodic input,
+    the steady-state initial condition solves the periodicity equation
+    [x(T) = x(0)]: with the exact one-period transition
+    [x(T) = Φ x(0) + d] ([Φ = e^{A'T}], [d] = forced response from 0),
+
+    [x_ss(0) = (I − Φ)^{−1} d].
+
+    One linear solve replaces simulating many periods of transient
+    decay — the standard way to get driven steady states (ripple,
+    distortion measurements) without waiting out the slowest pole. *)
+
+val steady_initial_state :
+  period:float -> steps_per_period:int -> Descriptor.t -> Source.t array -> Opm_numkit.Vec.t
+(** The periodic initial condition. The input is treated as piecewise
+    constant at its interval averages over [steps_per_period] slices
+    (exact for inputs that are piecewise constant on that grid; a
+    quadrature approximation otherwise). Raises
+    [Opm_numkit.Lu.Singular] for singular [E] or a system with a pole
+    at an exact multiple of the drive frequency. *)
+
+val solve :
+  periods:int ->
+  period:float ->
+  steps_per_period:int ->
+  Descriptor.t ->
+  Source.t array ->
+  Waveform.t
+(** The steady-state response over [periods] periods, starting from
+    {!steady_initial_state} — the first sample is already in steady
+    state. *)

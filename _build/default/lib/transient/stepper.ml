@@ -1,0 +1,94 @@
+open Opm_numkit
+open Opm_sparse
+open Opm_signal
+open Opm_core
+
+type scheme = Backward_euler | Trapezoidal | Gear2
+
+let scheme_name = function
+  | Backward_euler -> "backward-Euler"
+  | Trapezoidal -> "trapezoidal"
+  | Gear2 -> "Gear (BDF2)"
+
+let check_args ~h ~t_end (sys : Descriptor.t) sources =
+  if h <= 0.0 then invalid_arg "Stepper.solve: h <= 0";
+  if t_end <= 0.0 then invalid_arg "Stepper.solve: t_end <= 0";
+  if Array.length sources <> Descriptor.input_count sys then
+    invalid_arg "Stepper.solve: source count mismatch"
+
+let eval_inputs sources t = Array.map (fun src -> Source.eval src t) sources
+
+(* advance with x(0) = 0; returns (times, states as columns) *)
+let run ~scheme ~h ~t_end (sys : Descriptor.t) sources =
+  let n = Descriptor.order sys in
+  let steps = int_of_float (ceil ((t_end /. h) -. 1e-9)) in
+  let e = sys.Descriptor.e and a = sys.Descriptor.a in
+  let b = sys.Descriptor.b in
+  let bu t = Mat.mul_vec b (eval_inputs sources t) in
+  let times = Array.init (steps + 1) (fun k -> float_of_int k *. h) in
+  let xs = Array.make (steps + 1) (Vec.zeros n) in
+  (match scheme with
+  | Backward_euler ->
+      (* (E/h − A) x_k = (E/h) x_{k−1} + B u_k *)
+      let lhs = Csr.add ~alpha:(1.0 /. h) ~beta:(-1.0) e a in
+      let f = Slu.factor lhs in
+      for k = 1 to steps do
+        let rhs = Csr.mul_vec (Csr.scale (1.0 /. h) e) xs.(k - 1) in
+        Vec.axpy 1.0 (bu times.(k)) rhs;
+        xs.(k) <- Slu.solve f rhs
+      done
+  | Trapezoidal ->
+      (* (E/h − A/2) x_k = (E/h + A/2) x_{k−1} + B (u_k + u_{k−1})/2 *)
+      let lhs = Csr.add ~alpha:(1.0 /. h) ~beta:(-0.5) e a in
+      let rhs_mat = Csr.add ~alpha:(1.0 /. h) ~beta:0.5 e a in
+      let f = Slu.factor lhs in
+      for k = 1 to steps do
+        let rhs = Csr.mul_vec rhs_mat xs.(k - 1) in
+        let u_mid = Vec.scale 0.5 (Vec.add (bu times.(k)) (bu times.(k - 1))) in
+        Vec.axpy 1.0 u_mid rhs;
+        xs.(k) <- Slu.solve f rhs
+      done
+  | Gear2 ->
+      (* (3E/(2h) − A) x_k = (E/h)(2 x_{k−1} − x_{k−2}/2) + B u_k;
+         first step backward Euler *)
+      let lhs2 = Csr.add ~alpha:(1.5 /. h) ~beta:(-1.0) e a in
+      let f2 = Slu.factor lhs2 in
+      let lhs1 = Csr.add ~alpha:(1.0 /. h) ~beta:(-1.0) e a in
+      let f1 = Slu.factor lhs1 in
+      for k = 1 to steps do
+        if k = 1 then begin
+          let rhs = Csr.mul_vec (Csr.scale (1.0 /. h) e) xs.(0) in
+          Vec.axpy 1.0 (bu times.(k)) rhs;
+          xs.(k) <- Slu.solve f1 rhs
+        end
+        else begin
+          let hist =
+            Vec.sub
+              (Vec.scale (2.0 /. h) xs.(k - 1))
+              (Vec.scale (0.5 /. h) xs.(k - 2))
+          in
+          let rhs = Csr.mul_vec e hist in
+          Vec.axpy 1.0 (bu times.(k)) rhs;
+          xs.(k) <- Slu.solve f2 rhs
+        end
+      done);
+  (times, xs)
+
+let waveform_of ~c ~labels times xs =
+  let q, _n = Mat.dims c in
+  let channels =
+    Array.init q (fun i ->
+        Array.map (fun x -> Vec.dot (Mat.row c i) x) xs)
+  in
+  Waveform.make ~labels times channels
+
+let solve ~scheme ~h ~t_end sys sources =
+  check_args ~h ~t_end sys sources;
+  let times, xs = run ~scheme ~h ~t_end sys sources in
+  waveform_of ~c:sys.Descriptor.c ~labels:sys.Descriptor.output_names times xs
+
+let solve_states ~scheme ~h ~t_end sys sources =
+  check_args ~h ~t_end sys sources;
+  let times, xs = run ~scheme ~h ~t_end sys sources in
+  let n = Descriptor.order sys in
+  waveform_of ~c:(Mat.eye n) ~labels:sys.Descriptor.state_names times xs

@@ -1,0 +1,36 @@
+
+open Opm_signal
+open Opm_core
+
+(** Shared machinery of the classical one/two-step implicit transient
+    methods the paper benchmarks OPM against (Table II): backward
+    Euler, trapezoidal rule and Gear's method (BDF2).
+
+    Each scheme advances [E ẋ = A x + B u] with a fixed step [h] from
+    [x(0) = 0] and factorises its iteration matrix exactly once —
+    matching the complexity regime OPM is compared to. *)
+
+type scheme = Backward_euler | Trapezoidal | Gear2
+
+val scheme_name : scheme -> string
+
+val solve :
+  scheme:scheme ->
+  h:float ->
+  t_end:float ->
+  Descriptor.t ->
+  Source.t array ->
+  Waveform.t
+(** Output waveform [y = C x] sampled at [t_k = k·h], [k = 0 … ⌈T/h⌉].
+    Gear's first step falls back to backward Euler. Raises
+    [Invalid_argument] on non-positive [h] or [t_end], or if the source
+    count does not match the system's inputs. *)
+
+val solve_states :
+  scheme:scheme ->
+  h:float ->
+  t_end:float ->
+  Descriptor.t ->
+  Source.t array ->
+  Waveform.t
+(** Same but observing all state variables (ignores [C]). *)

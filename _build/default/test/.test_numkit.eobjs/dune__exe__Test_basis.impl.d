@@ -1,0 +1,1 @@
+test/test_basis.ml: Alcotest Array Block_pulse Float Grid Haar Laguerre Legendre List Mat Opm_basis Opm_numkit Opm_signal Poly Printf QCheck QCheck_alcotest Random Vec Walsh

@@ -1,0 +1,1 @@
+test/test_numkit.ml: Alcotest Array Cmat Complex Eig Expm Fft Float Fun List Lu Mat Opm_numkit Poly Printf QCheck QCheck_alcotest Random Series Special Tri Vec

@@ -1,0 +1,1 @@
+test/test_signal.ml: Alcotest Array Error Float List Measure Opm_signal QCheck QCheck_alcotest Source Spectrum String Waveform

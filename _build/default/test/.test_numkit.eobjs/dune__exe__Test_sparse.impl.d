@@ -1,0 +1,1 @@
+test/test_sparse.ml: Alcotest Array Coo Csr Fun List Lu Mat Opm_numkit Opm_sparse Printf QCheck QCheck_alcotest Random Rcm Slu Vec

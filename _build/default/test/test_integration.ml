@@ -1,0 +1,196 @@
+(* End-to-end integration tests: netlist text → parse → stamp → simulate
+   → compare against analytic solutions and across methods. These cover
+   the complete pipelines the paper's two experiments use. *)
+
+open Opm_numkit
+open Opm_basis
+open Opm_signal
+open Opm_core
+open Opm_circuit
+open Opm_transient
+
+let check_bool = Alcotest.(check bool)
+
+
+(* ---------- netlist-to-waveform pipelines ---------- *)
+
+let test_rc_netlist_all_methods_agree () =
+  let net = Parser.parse_string "V1 in 0 step(1)\nR1 in out 1k\nC1 out 0 1u\n" in
+  let sys, srcs = Mna.stamp_linear ~outputs:[ Mna.Node_voltage "out" ] net in
+  let t_end = 5e-3 in
+  let tau = 1e-3 in
+  let exact t = 1.0 -. exp (-.t /. tau) in
+  let check name w bound =
+    let y = Waveform.channel w 0 in
+    let err = ref 0.0 in
+    Array.iteri
+      (fun i t -> if t > 0.0 then err := Float.max !err (Float.abs (y.(i) -. exact t)))
+      w.Waveform.times;
+    check_bool name true (!err < bound)
+  in
+  let grid = Grid.uniform ~t_end ~m:500 in
+  let opm = Opm.simulate_linear ~grid sys srcs in
+  check "opm" opm.Sim_result.outputs 1e-4;
+  check "trapezoidal"
+    (Stepper.solve ~scheme:Stepper.Trapezoidal ~h:(t_end /. 500.0) ~t_end sys srcs)
+    1e-4;
+  check "gear"
+    (Stepper.solve ~scheme:Stepper.Gear2 ~h:(t_end /. 500.0) ~t_end sys srcs)
+    1e-3;
+  check "backward euler"
+    (Stepper.solve ~scheme:Stepper.Backward_euler ~h:(t_end /. 500.0) ~t_end sys srcs)
+    1e-2;
+  let adaptive, _ = Adaptive.solve ~tol:1e-6 ~t_end sys srcs in
+  check "adaptive opm" adaptive.Sim_result.outputs 1e-4
+
+let test_cpe_netlist_vs_mittag_leffler () =
+  let net =
+    Parser.parse_string
+      "V1 in 0 step(1)\nR1 in out 100\nP1 out 0 q=1m alpha=0.5\n"
+  in
+  match Mna.stamp_fractional ~outputs:[ Mna.Node_voltage "out" ] net with
+  | None -> Alcotest.fail "expected fractional netlist"
+  | Some (sys, alpha, srcs) ->
+      let lambda = 1.0 /. (100.0 *. 1e-3) (* 1/(RQ) = 10 *) in
+      let t_end = 2.0 in
+      let grid = Grid.uniform ~t_end ~m:800 in
+      let r = Opm.simulate_fractional ~grid ~alpha sys srcs in
+      let y = Sim_result.output r 0 in
+      let mids = Grid.midpoints grid in
+      let err = ref 0.0 in
+      Array.iteri
+        (fun i t ->
+          if i > 10 then
+            err :=
+              Float.max !err
+                (Float.abs (y.(i) -. Special.ml_step_response ~alpha ~lambda t)))
+        mids;
+      check_bool "netlist → FDE → Mittag-Leffler" true (!err < 5e-3)
+
+let test_lc_tank_energy () =
+  (* lossless LC tank rung by a current pulse keeps oscillating *)
+  let net =
+    Parser.parse_string
+      "I1 top 0 pulse(0 1m 0 10n 0)\nC1 top 0 1n\nL1 top 0 1u\n"
+  in
+  let sys, srcs = Mna.stamp_linear ~outputs:[ Mna.Node_voltage "top" ] net in
+  let grid = Grid.uniform ~t_end:1e-6 ~m:4000 in
+  let r = Opm.simulate_linear ~grid sys srcs in
+  let y = Sim_result.output r 0 in
+  (* oscillation persists: late amplitude within 10% of the peak *)
+  let peak = Vec.norm_inf y in
+  let late = Array.sub y 3600 400 in
+  check_bool "undamped" true (Vec.norm_inf late > 0.9 *. peak);
+  (* period = 2π√(LC) ≈ 199 ns: count zero crossings over 1 µs ≈ 10 *)
+  let crossings = ref 0 in
+  for i = 1 to Array.length y - 1 do
+    if y.(i - 1) *. y.(i) < 0.0 then incr crossings
+  done;
+  check_bool "frequency right" true (!crossings >= 8 && !crossings <= 12)
+
+let test_table1_pipeline () =
+  (* the full Table I pipeline: OPM m=8 and both FFT baselines produce
+     finite waveforms with the documented accuracy ordering *)
+  let sys = Tline.model () in
+  let srcs = Tline.inputs () in
+  let grid = Grid.uniform ~t_end:Tline.t_end ~m:8 in
+  let opm = Opm.simulate_fractional ~grid ~alpha:Tline.alpha sys srcs in
+  let fft1 = Freq_domain.solve ~n_samples:8 ~alpha:Tline.alpha ~t_end:Tline.t_end sys srcs in
+  let fft2 = Freq_domain.solve ~n_samples:100 ~alpha:Tline.alpha ~t_end:Tline.t_end sys srcs in
+  let e1 = Error.waveform_error_db ~reference:opm.Sim_result.outputs fft1 in
+  let e2 = Error.waveform_error_db ~reference:opm.Sim_result.outputs fft2 in
+  check_bool "errors finite" true (Float.is_finite e1 && Float.is_finite e2);
+  check_bool "FFT-2 more accurate than FFT-1 (paper Table I shape)" true (e2 < e1)
+
+let test_table2_pipeline () =
+  (* the full Table II pipeline on a small grid: OPM on the second-order
+     NA model vs the three classical schemes on the MNA DAE *)
+  let spec = { Power_grid.default_spec with nx = 4; ny = 4; nz = 2; load_count = 2 } in
+  let net = Power_grid.generate spec in
+  let probe = [ Mna.Node_voltage (Power_grid.node_name ~x:0 ~y:0 ~z:0) ] in
+  let na, srcs_na = Na2.stamp ~outputs:probe net in
+  let mna, srcs_mna = Mna.stamp_linear ~outputs:probe net in
+  let t_end = 1e-9 and h = 10e-12 in
+  let m = int_of_float (t_end /. h) in
+  let opm = Opm.simulate_multi_term ~grid:(Grid.uniform ~t_end ~m) na srcs_na in
+  (* high-accuracy reference: trapezoidal at h/20 *)
+  let reference =
+    Stepper.solve ~scheme:Stepper.Trapezoidal ~h:(h /. 20.0) ~t_end mna srcs_mna
+  in
+  let err_of w = Error.waveform_error_db ~reference w in
+  let e_opm = err_of opm.Sim_result.outputs in
+  let e_trap = err_of (Stepper.solve ~scheme:Stepper.Trapezoidal ~h ~t_end mna srcs_mna) in
+  let e_gear = err_of (Stepper.solve ~scheme:Stepper.Gear2 ~h ~t_end mna srcs_mna) in
+  let e_be = err_of (Stepper.solve ~scheme:Stepper.Backward_euler ~h ~t_end mna srcs_mna) in
+  (* Table II shape: b-Euler clearly worst; OPM in the same accuracy
+     class as the second-order schemes *)
+  check_bool "b-Euler worst" true (e_be > e_trap && e_be > e_gear);
+  check_bool "OPM competitive" true (e_opm < e_be)
+
+let test_be_step_refinement_shape () =
+  (* Table II's backward-Euler rows: error must improve as h shrinks *)
+  let spec = { Power_grid.default_spec with nx = 3; ny = 3; nz = 2; load_count = 2 } in
+  let net = Power_grid.generate spec in
+  let probe = [ Mna.Node_voltage (Power_grid.node_name ~x:0 ~y:0 ~z:0) ] in
+  let mna, srcs = Mna.stamp_linear ~outputs:probe net in
+  let t_end = 1e-9 in
+  let reference =
+    Stepper.solve ~scheme:Stepper.Trapezoidal ~h:0.25e-12 ~t_end mna srcs
+  in
+  let err h =
+    Error.waveform_error_db ~reference
+      (Stepper.solve ~scheme:Stepper.Backward_euler ~h ~t_end mna srcs)
+  in
+  let e10 = err 10e-12 and e5 = err 5e-12 and e1 = err 1e-12 in
+  check_bool "10ps → 5ps improves" true (e5 < e10);
+  check_bool "5ps → 1ps improves" true (e1 < e5)
+
+(* ---------- CLI-equivalent pipeline ---------- *)
+
+let test_multi_term_netlist_pipeline () =
+  (* mixed C + CPE netlist must run through the multi-term engine *)
+  let net =
+    Parser.parse_string
+      "V1 in 0 step(1)\n\
+       R1 in out 1k\n\
+       C1 out 0 0.2u\n\
+       P1 out 0 q=0.5u alpha=0.5\n"
+  in
+  let mt, srcs = Mna.stamp ~outputs:[ Mna.Node_voltage "out" ] net in
+  Alcotest.(check int) "two dynamic terms" 2 (List.length mt.Multi_term.terms);
+  let grid = Grid.uniform ~t_end:5e-3 ~m:300 in
+  let r = Opm.simulate_multi_term ~grid mt srcs in
+  let y = Sim_result.output r 0 in
+  check_bool "bounded, rising to 1" true
+    (Vec.norm_inf y <= 1.05 && y.(299) > 0.8);
+  check_bool "monotone-ish charging" true (y.(299) > y.(30))
+
+let test_csv_output_shape () =
+  let net = Parser.parse_string "V1 in 0 step(1)\nR1 in out 1k\nC1 out 0 1u\n" in
+  let sys, srcs = Mna.stamp_linear ~outputs:[ Mna.Node_voltage "out" ] net in
+  let grid = Grid.uniform ~t_end:1e-3 ~m:10 in
+  let r = Opm.simulate_linear ~grid sys srcs in
+  let csv = Waveform.to_csv r.Sim_result.outputs in
+  let lines = String.split_on_char '\n' (String.trim csv) in
+  Alcotest.(check int) "header + 10 rows" 11 (List.length lines);
+  check_bool "header names probe" true (List.hd lines = "t,v(out)")
+
+let () =
+  let t name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "integration"
+    [
+      ( "pipelines",
+        [
+          t "RC netlist, all methods" test_rc_netlist_all_methods_agree;
+          t "CPE netlist vs Mittag-Leffler" test_cpe_netlist_vs_mittag_leffler;
+          t "LC tank oscillates" test_lc_tank_energy;
+          t "mixed C+CPE multi-term" test_multi_term_netlist_pipeline;
+          t "CSV output" test_csv_output_shape;
+        ] );
+      ( "paper-experiments",
+        [
+          t "Table I pipeline" test_table1_pipeline;
+          t "Table II pipeline" test_table2_pipeline;
+          t "Table II b-Euler refinement" test_be_step_refinement_shape;
+        ] );
+    ]

@@ -1,0 +1,320 @@
+(* Tests for the sparse-matrix substrate (COO builder, CSR, sparse LU). *)
+
+open Opm_numkit
+open Opm_sparse
+
+let close ?(tol = 1e-9) msg expected actual =
+  Alcotest.(check (float tol)) msg expected actual
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let random_sparse ?(density = 0.2) ?(dominant = true) seed n =
+  let st = Random.State.make [| seed |] in
+  Mat.init n n (fun i j ->
+      if i = j && dominant then float_of_int n +. Random.State.float st 1.0
+      else if Random.State.float st 1.0 < density then
+        Random.State.float st 2.0 -. 1.0
+      else 0.0)
+
+(* ---------- Coo ---------- *)
+
+let test_coo_merge () =
+  let c = Coo.create ~rows:3 ~cols:3 in
+  Coo.add c 0 0 1.0;
+  Coo.add c 0 0 2.0;
+  Coo.add c 2 1 5.0;
+  Coo.add c 1 1 (-5.0);
+  Coo.add c 1 1 5.0;
+  check_int "entry count pre-merge" 5 (Coo.entry_count c);
+  let m = Coo.to_csr c in
+  close "duplicates summed" 3.0 (Csr.get m 0 0);
+  close "single entry" 5.0 (Csr.get m 2 1);
+  close "cancelled entry dropped" 0.0 (Csr.get m 1 1);
+  check_int "explicit zeros dropped" 2 (Csr.nnz m)
+
+let test_coo_bounds () =
+  let c = Coo.create ~rows:2 ~cols:2 in
+  check_bool "out of bounds raises" true
+    (try
+       Coo.add c 2 0 1.0;
+       false
+     with Invalid_argument _ -> true)
+
+let test_coo_roundtrip () =
+  let d = random_sparse ~dominant:false 7 10 in
+  let m = Coo.to_csr (Coo.of_dense d) in
+  close "dense roundtrip" 0.0 (Mat.max_abs_diff (Csr.to_dense m) d)
+
+let test_coo_growth () =
+  (* push past the initial capacity *)
+  let c = Coo.create ~rows:100 ~cols:100 in
+  for k = 0 to 999 do
+    Coo.add c (k mod 100) (k / 10 mod 100) 1.0
+  done;
+  check_int "all entries kept" 1000 (Coo.entry_count c);
+  check_bool "csr builds" true (Csr.nnz (Coo.to_csr c) > 0)
+
+(* ---------- Csr ---------- *)
+
+let test_csr_get () =
+  let d = Mat.of_arrays [| [| 0.0; 2.0; 0.0 |]; [| 1.0; 0.0; 3.0 |] |] in
+  let s = Csr.of_dense d in
+  close "stored" 2.0 (Csr.get s 0 1);
+  close "structural zero" 0.0 (Csr.get s 0 0);
+  close "stored 2" 3.0 (Csr.get s 1 2);
+  check_int "nnz" 3 (Csr.nnz s)
+
+let test_csr_mul_vec () =
+  let d = random_sparse 11 20 in
+  let s = Csr.of_dense d in
+  let x = Array.init 20 (fun i -> sin (float_of_int i)) in
+  check_bool "matches dense" true
+    (Vec.approx_equal ~tol:1e-12 (Mat.mul_vec d x) (Csr.mul_vec s x))
+
+let test_csr_tmul_vec () =
+  let d = random_sparse ~dominant:false 13 15 in
+  let s = Csr.of_dense d in
+  let x = Array.init 15 (fun i -> cos (float_of_int i)) in
+  check_bool "matches dense transpose" true
+    (Vec.approx_equal ~tol:1e-12
+       (Mat.mul_vec (Mat.transpose d) x)
+       (Csr.tmul_vec s x))
+
+let test_csr_transpose () =
+  let d = random_sparse ~dominant:false 17 12 in
+  let s = Csr.of_dense d in
+  close "transpose matches dense" 0.0
+    (Mat.max_abs_diff (Csr.to_dense (Csr.transpose s)) (Mat.transpose d));
+  close "double transpose" 0.0
+    (Csr.max_abs_diff (Csr.transpose (Csr.transpose s)) s)
+
+let test_csr_add () =
+  let da = random_sparse ~dominant:false 19 9 in
+  let db = random_sparse ~dominant:false 23 9 in
+  let sum =
+    Csr.add ~alpha:2.0 ~beta:(-0.5) (Csr.of_dense da) (Csr.of_dense db)
+  in
+  let expected = Mat.add (Mat.scale 2.0 da) (Mat.scale (-0.5) db) in
+  close "αA + βB" 0.0 (Mat.max_abs_diff (Csr.to_dense sum) expected) ~tol:1e-12
+
+let test_csr_eye_scale () =
+  let i5 = Csr.eye 5 in
+  check_int "eye nnz" 5 (Csr.nnz i5);
+  let s = Csr.scale 3.0 i5 in
+  close "scaled diag" 3.0 (Csr.get s 2 2)
+
+let test_csr_zero () =
+  let z = Csr.zero ~rows:3 ~cols:4 in
+  check_int "zero nnz" 0 (Csr.nnz z);
+  let x = [| 1.0; 1.0; 1.0; 1.0 |] in
+  check_bool "zero mul" true (Vec.approx_equal (Vec.zeros 3) (Csr.mul_vec z x))
+
+let prop_csr_add_commutes =
+  QCheck.Test.make ~count:30 ~name:"csr: A + B = B + A over random patterns"
+    QCheck.(pair (int_range 1 15) (int_range 0 1000))
+    (fun (n, seed) ->
+      let a = Csr.of_dense (random_sparse ~dominant:false seed n) in
+      let b = Csr.of_dense (random_sparse ~dominant:false (seed + 1) n) in
+      Csr.max_abs_diff (Csr.add a b) (Csr.add b a) < 1e-14)
+
+let prop_csr_matvec_linear =
+  QCheck.Test.make ~count:30 ~name:"csr: (A + B)x = Ax + Bx"
+    QCheck.(pair (int_range 1 15) (int_range 0 1000))
+    (fun (n, seed) ->
+      let st = Random.State.make [| seed + 99 |] in
+      let a = Csr.of_dense (random_sparse ~dominant:false seed n) in
+      let b = Csr.of_dense (random_sparse ~dominant:false (seed + 2) n) in
+      let x = Array.init n (fun _ -> Random.State.float st 2.0 -. 1.0) in
+      let lhs = Csr.mul_vec (Csr.add a b) x in
+      let rhs = Vec.add (Csr.mul_vec a x) (Csr.mul_vec b x) in
+      Vec.max_abs_diff lhs rhs < 1e-12)
+
+(* ---------- Slu ---------- *)
+
+let test_slu_vs_dense () =
+  let d = random_sparse 31 40 in
+  let s = Csr.of_dense d in
+  let b = Array.init 40 (fun i -> sin (float_of_int i)) in
+  check_bool "sparse = dense solution" true
+    (Vec.approx_equal ~tol:1e-10 (Slu.solve_dense s b) (Lu.solve_dense d b))
+
+let test_slu_factor_reuse () =
+  let d = random_sparse 37 25 in
+  let s = Csr.of_dense d in
+  let f = Slu.factor s in
+  List.iter
+    (fun seed ->
+      let st = Random.State.make [| seed |] in
+      let b = Array.init 25 (fun _ -> Random.State.float st 2.0 -. 1.0) in
+      let x = Slu.solve f b in
+      let r = Vec.sub (Csr.mul_vec s x) b in
+      close (Printf.sprintf "residual seed %d" seed) 0.0 (Vec.norm2 r) ~tol:1e-9)
+    [ 1; 2; 3 ]
+
+let test_slu_permutation_needed () =
+  (* anti-diagonal: every pivot requires a row swap *)
+  let n = 6 in
+  let d =
+    Mat.init n n (fun i j -> if i + j = n - 1 then float_of_int (i + 1) else 0.0)
+  in
+  let s = Csr.of_dense d in
+  let b = Array.init n (fun i -> float_of_int (2 * i)) in
+  let x = Slu.solve_dense s b in
+  check_bool "residual" true (Vec.approx_equal ~tol:1e-12 (Csr.mul_vec s x) b)
+
+let test_slu_singular () =
+  let d = Mat.of_arrays [| [| 1.0; 2.0 |]; [| 2.0; 4.0 |] |] in
+  check_bool "raises" true
+    (try
+       ignore (Slu.factor (Csr.of_dense d));
+       false
+     with Slu.Singular _ -> true)
+
+let test_slu_dae_pencil () =
+  (* the kind of matrix OPM factors for a DAE: d·E − A with singular E *)
+  let e = Mat.of_arrays [| [| 1.0; 0.0 |]; [| 0.0; 0.0 |] |] in
+  let a = Mat.of_arrays [| [| -1.0; 1.0 |]; [| 1.0; -2.0 |] |] in
+  let pencil = Csr.of_dense (Mat.sub (Mat.scale 10.0 e) a) in
+  let x = Slu.solve_dense pencil [| 1.0; 0.0 |] in
+  let r = Vec.sub (Csr.mul_vec pencil x) [| 1.0; 0.0 |] in
+  close "dae pencil residual" 0.0 (Vec.norm2 r) ~tol:1e-12
+
+let test_slu_tridiagonal_no_fill () =
+  (* a tridiagonal matrix factors with O(n) fill *)
+  let n = 50 in
+  let d =
+    Mat.init n n (fun i j ->
+        if i = j then 4.0 else if abs (i - j) = 1 then -1.0 else 0.0)
+  in
+  let s = Csr.of_dense d in
+  let f = Slu.factor s in
+  check_bool "fill stays linear" true (Slu.nnz_factors f <= 3 * n)
+
+(* ---------- Rcm ---------- *)
+
+let shuffled_band seed n bw =
+  (* a band matrix viewed through a random symmetric permutation *)
+  let st = Random.State.make [| seed |] in
+  let p = Array.init n Fun.id in
+  for i = n - 1 downto 1 do
+    let j = Random.State.int st (i + 1) in
+    let tmp = p.(i) in
+    p.(i) <- p.(j);
+    p.(j) <- tmp
+  done;
+  let d =
+    Mat.init n n (fun i j ->
+        if abs (p.(i) - p.(j)) > bw then 0.0
+        else if i = j then 4.0 +. Random.State.float st 1.0
+        else Random.State.float st 0.5)
+  in
+  Csr.of_dense d
+
+let test_rcm_is_permutation () =
+  let a = shuffled_band 3 30 2 in
+  let p = Rcm.ordering a in
+  let sorted = Array.copy p in
+  Array.sort compare sorted;
+  check_bool "bijection" true (Array.to_list sorted = List.init 30 Fun.id)
+
+let test_rcm_reduces_bandwidth () =
+  let a = shuffled_band 5 60 2 in
+  let p = Rcm.ordering a in
+  let permuted = Rcm.permute_symmetric a p in
+  check_bool
+    (Printf.sprintf "bandwidth %d -> %d" (Rcm.bandwidth a)
+       (Rcm.bandwidth permuted))
+    true
+    (Rcm.bandwidth permuted < Rcm.bandwidth a / 2)
+
+let test_rcm_permute_values () =
+  let d = Mat.init 5 5 (fun i j -> float_of_int ((10 * i) + j)) in
+  let a = Csr.of_dense d in
+  let p = [| 4; 2; 0; 1; 3 |] in
+  let a' = Rcm.permute_symmetric a p in
+  (* a'_{ij} = a_{p(i) p(j)} *)
+  Alcotest.(check (float 1e-12)) "entry" (Mat.get d 4 2) (Csr.get a' 0 1);
+  Alcotest.(check (float 1e-12)) "entry 2" (Mat.get d 1 3) (Csr.get a' 3 4)
+
+let test_rcm_inverse () =
+  let p = [| 3; 0; 2; 1 |] in
+  let inv = Rcm.inverse p in
+  Array.iteri (fun i v -> Alcotest.(check int) "roundtrip" i inv.(p.(i)) |> ignore; ignore v) p
+
+let test_slu_ordering_variants_agree () =
+  let d = Csr.to_dense (shuffled_band 11 40 3) in
+  let s = Csr.of_dense d in
+  let b = Array.init 40 (fun i -> sin (float_of_int i)) in
+  let x_rcm = Slu.solve (Slu.factor ~ordering:`Rcm s) b in
+  let x_nat = Slu.solve (Slu.factor ~ordering:`Natural s) b in
+  let x_strict = Slu.solve (Slu.factor ~pivot_tol:1.0 s) b in
+  check_bool "rcm = natural" true (Vec.approx_equal ~tol:1e-9 x_rcm x_nat);
+  check_bool "threshold = strict pivoting" true
+    (Vec.approx_equal ~tol:1e-9 x_rcm x_strict)
+
+let test_slu_rcm_reduces_fill () =
+  let s = shuffled_band 13 200 2 in
+  let f_rcm = Slu.factor ~ordering:`Rcm s in
+  let f_nat = Slu.factor ~ordering:`Natural s in
+  check_bool
+    (Printf.sprintf "fill %d (rcm) < %d (natural)" (Slu.nnz_factors f_rcm)
+       (Slu.nnz_factors f_nat))
+    true
+    (Slu.nnz_factors f_rcm < Slu.nnz_factors f_nat)
+
+let prop_slu_random =
+  QCheck.Test.make ~count:30 ~name:"slu: agrees with dense LU on random sparse"
+    QCheck.(pair (int_range 2 30) (int_range 0 1000))
+    (fun (n, seed) ->
+      let d = random_sparse seed n in
+      let st = Random.State.make [| seed * 7 |] in
+      let b = Array.init n (fun _ -> Random.State.float st 2.0 -. 1.0) in
+      let xs = Slu.solve_dense (Csr.of_dense d) b in
+      let xd = Lu.solve_dense d b in
+      Vec.max_abs_diff xs xd < 1e-8)
+
+let () =
+  let t name f = Alcotest.test_case name `Quick f in
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "sparse"
+    [
+      ( "coo",
+        [
+          t "duplicate merging" test_coo_merge;
+          t "bounds checking" test_coo_bounds;
+          t "dense roundtrip" test_coo_roundtrip;
+          t "capacity growth" test_coo_growth;
+        ] );
+      ( "csr",
+        [
+          t "get" test_csr_get;
+          t "mul_vec" test_csr_mul_vec;
+          t "tmul_vec" test_csr_tmul_vec;
+          t "transpose" test_csr_transpose;
+          t "add" test_csr_add;
+          t "eye + scale" test_csr_eye_scale;
+          t "zero" test_csr_zero;
+          q prop_csr_add_commutes;
+          q prop_csr_matvec_linear;
+        ] );
+      ( "rcm",
+        [
+          t "is a permutation" test_rcm_is_permutation;
+          t "reduces bandwidth" test_rcm_reduces_bandwidth;
+          t "permute values" test_rcm_permute_values;
+          t "inverse" test_rcm_inverse;
+          t "ordering variants agree" test_slu_ordering_variants_agree;
+          t "rcm reduces fill" test_slu_rcm_reduces_fill;
+        ] );
+      ( "slu",
+        [
+          t "vs dense LU" test_slu_vs_dense;
+          t "factor reuse" test_slu_factor_reuse;
+          t "permutation needed" test_slu_permutation_needed;
+          t "singular raises" test_slu_singular;
+          t "dae pencil" test_slu_dae_pencil;
+          t "tridiagonal no fill" test_slu_tridiagonal_no_fill;
+          q prop_slu_random;
+        ] );
+    ]
