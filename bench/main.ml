@@ -9,7 +9,11 @@
      dune exec bench/main.exe -- ablation-adaptive
      dune exec bench/main.exe -- ablation-kron
      dune exec bench/main.exe -- fft-sweep
-     dune exec bench/main.exe -- micro        # bechamel micro-benchmarks *)
+     dune exec bench/main.exe -- parallel-sweep [--domains N]
+     dune exec bench/main.exe -- micro        # bechamel micro-benchmarks
+
+   [--domains N] (any command) sets the domain-pool size, like
+   OPM_DOMAINS=N. *)
 
 open Opm_numkit
 open Opm_basis
@@ -17,6 +21,7 @@ open Opm_signal
 open Opm_core
 open Opm_circuit
 open Opm_transient
+open Opm_analysis
 
 (* ------------------------------------------------------------------ *)
 (* timing helpers                                                      *)
@@ -409,6 +414,106 @@ let fft_sweep () =
     [ 8; 16; 32; 64; 100; 128; 256; 512; 1024 ]
 
 (* ------------------------------------------------------------------ *)
+(* Parallel sweep — domain-pool scaling of the independent outer loops *)
+
+module Pool = Opm_parallel.Pool
+
+let parallel_sweep () =
+  let max_domains = Pool.default_domains () in
+  header
+    (Printf.sprintf
+       "Parallel sweep — domain pool scaling (up to %d domains; hardware \
+        reports %d core(s))"
+       max_domains
+       (Domain.recommended_domain_count ()));
+  let domain_counts =
+    List.sort_uniq compare (List.filter (fun d -> d <= max_domains) [ 1; 2; 4 ] @ [ max_domains ])
+  in
+  (* workload 1: AC sweep — one complex factor-and-solve per frequency *)
+  let input = Source.Step { amplitude = 1.0; delay = 0.0 } in
+  let net = Generators.rc_ladder ~sections:40 ~input () in
+  let sys, srcs = Mna.stamp_linear ~outputs:[ Mna.Node_voltage "n40" ] net in
+  let ac_points = 240 in
+  let run_ac pool =
+    Ac.sweep ~pool ~omega_min:1e2 ~omega_max:1e9 ~points:ac_points sys
+  in
+  (* workload 2: parameter sweep — one full transient + measurement per
+     ladder resistance value *)
+  let param_values = Array.init 24 (fun k -> 200.0 +. (100.0 *. float_of_int k)) in
+  let evaluate r =
+    let net = Generators.rc_ladder ~r ~sections:12 ~input () in
+    let sys, srcs = Mna.stamp_linear ~outputs:[ Mna.Node_voltage "n12" ] net in
+    let grid = Grid.uniform ~t_end:2e-4 ~m:256 in
+    let res = Opm.simulate_linear ~grid sys srcs in
+    Opm_signal.Measure.rise_time res.Sim_result.outputs ~channel:0
+  in
+  let run_param pool = Sweep.run ~pool evaluate param_values in
+  (* workload 3: FFT frequency-domain transient — one contour solve per bin *)
+  let run_fft pool =
+    Freq_domain.solve ~pool ~n_samples:256 ~alpha:1.0 ~t_end:2e-4 sys srcs
+  in
+  let time_with_pool d f =
+    Pool.with_pool ~domains:d (fun pool -> timed ~runs:3 (fun () -> f pool))
+  in
+  let baseline_ac = ref nan and baseline_param = ref nan and baseline_fft = ref nan in
+  let ref_ac = ref None and ref_param = ref None and ref_fft = ref None in
+  Printf.printf "%-10s %14s %14s %14s %26s\n" "domains"
+    (Printf.sprintf "AC (%d pts)" ac_points)
+    (Printf.sprintf "param (%d)" (Array.length param_values))
+    "FFT (256)" "speedup (AC/param/FFT)";
+  rule ();
+  List.iter
+    (fun d ->
+      let t_ac, ac = time_with_pool d run_ac in
+      let t_param, param = time_with_pool d run_param in
+      let t_fft, fft = time_with_pool d run_fft in
+      (match !ref_ac with
+      | None ->
+          baseline_ac := t_ac;
+          baseline_param := t_param;
+          baseline_fft := t_fft;
+          ref_ac := Some ac;
+          ref_param := Some param;
+          ref_fft := Some fft
+      | Some serial_ac ->
+          (* determinism contract: bit-identical to the 1-domain run *)
+          let ac_diff =
+            List.fold_left2
+              (fun acc p q ->
+                Float.max acc (Cmat.max_abs_diff p.Ac.response q.Ac.response))
+              0.0 serial_ac ac
+          in
+          let param_identical =
+            Option.get !ref_param
+            |> Array.for_all2 (fun (v, m) (v', m') -> v = v' && m = m') param
+          in
+          let fft_identical =
+            let a = Option.get !ref_fft in
+            let qn = Opm_signal.Waveform.channel_count a in
+            qn = Opm_signal.Waveform.channel_count fft
+            && Array.for_all
+                 (fun i ->
+                   Opm_signal.Waveform.channel a i
+                   = Opm_signal.Waveform.channel fft i)
+                 (Array.init qn Fun.id)
+          in
+          if ac_diff <> 0.0 || (not param_identical) || not fft_identical then begin
+            Printf.printf
+              "!! %d-domain results differ from serial (AC max diff %g, param \
+               identical %b, fft identical %b)\n"
+              d ac_diff param_identical fft_identical;
+            exit 1
+          end);
+      Printf.printf "%-10d %14s %14s %14s %12s\n" d (pp_time t_ac)
+        (pp_time t_param) (pp_time t_fft)
+        (Printf.sprintf "%.2fx / %.2fx / %.2fx" (!baseline_ac /. t_ac)
+           (!baseline_param /. t_param) (!baseline_fft /. t_fft)))
+    domain_counts;
+  rule ();
+  print_endline
+    "serial and parallel results verified bit-identical at every pool size."
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per table                  *)
 
 let micro () =
@@ -504,8 +609,22 @@ let parse_grid_cli args =
   go args;
   !cli
 
+(* [--domains N] is accepted anywhere on the command line and sets the
+   process-wide default pool size (same effect as OPM_DOMAINS=N) *)
+let strip_domains args =
+  let rec go = function
+    | "--domains" :: v :: rest ->
+        (match int_of_string_opt v with
+        | Some d when d >= 1 -> Pool.set_default_domains d
+        | Some _ | None -> failwith ("--domains: bad value " ^ v));
+        go rest
+    | x :: rest -> x :: go rest
+    | [] -> []
+  in
+  go args
+
 let () =
-  match Array.to_list Sys.argv with
+  match strip_domains (Array.to_list Sys.argv) with
   | _ :: "table1" :: _ -> table1 ()
   | _ :: "table2" :: rest -> table2 (parse_grid_cli rest)
   | _ :: "ablation-basis" :: _ -> ablation_basis ()
@@ -513,6 +632,7 @@ let () =
   | _ :: "ablation-kron" :: _ -> ablation_kron ()
   | _ :: "convergence" :: _ -> convergence ()
   | _ :: "fft-sweep" :: _ -> fft_sweep ()
+  | _ :: "parallel-sweep" :: _ -> parallel_sweep ()
   | _ :: "micro" :: _ -> micro ()
   | _ :: [] | _ :: "all" :: _ ->
       table1 ();
@@ -522,12 +642,13 @@ let () =
       ablation_kron ();
       convergence ();
       fft_sweep ();
+      parallel_sweep ();
       micro ()
   | _ :: cmd :: _ ->
       Printf.eprintf
         "unknown command %s (try table1, table2, ablation-basis, \
-         ablation-adaptive, ablation-kron, convergence, fft-sweep, micro, \
-         all)\n"
+         ablation-adaptive, ablation-kron, convergence, fft-sweep, \
+         parallel-sweep, micro, all)\n"
         cmd;
       exit 1
   | [] -> assert false

@@ -106,6 +106,14 @@ let points_arg =
   let doc = "AC sweep point count." in
   Arg.(value & opt int 50 & info [ "points" ] ~doc)
 
+let domains_arg =
+  let doc =
+    "Domain-pool size for the parallel analyses (AC sweeps, FFT transient). \
+     Defaults to $(b,OPM_DOMAINS) or the hardware core count; 1 forces \
+     serial execution. Results are bit-identical for any value."
+  in
+  Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"N" ~doc)
+
 let run_tran net outputs t_end steps method_ tol =
   let t_end =
     match t_end with
@@ -223,8 +231,12 @@ let run_poles net =
       Array.iter pp_pole poles;
       Printf.printf "stable: %b\n" (Poles.is_stable ~shift:(-1.0) sys)
 
-let run netlist_path mode t_end steps method_ probes tol fstart fstop points =
+let run netlist_path mode t_end steps method_ probes tol fstart fstop points
+    domains =
   try
+    (match domains with
+    | Some d -> Opm_parallel.Pool.set_default_domains d
+    | None -> ());
     let net = Parser.parse_file netlist_path in
     let outputs =
       match probes with
@@ -257,7 +269,8 @@ let cmd =
   Cmd.v info
     Term.(
       const run $ netlist_arg $ mode_arg $ t_end_arg $ steps_arg $ method_arg
-      $ probes_arg $ tol_arg $ fstart_arg $ fstop_arg $ points_arg)
+      $ probes_arg $ tol_arg $ fstart_arg $ fstop_arg $ points_arg
+      $ domains_arg)
 
 let () =
   Logs.set_reporter (Logs.format_reporter ());

@@ -34,15 +34,25 @@ let transfer ?(alpha = 1.0) (sys : Descriptor.t) omega =
   done;
   g
 
-let sweep ?alpha ~omega_min ~omega_max ~points sys =
+let sweep ?pool ?alpha ~omega_min ~omega_max ~points sys =
   if points < 2 then invalid_arg "Ac.sweep: points < 2";
   if omega_min <= 0.0 || omega_max <= omega_min then
     invalid_arg "Ac.sweep: need 0 < omega_min < omega_max";
   let log_min = log10 omega_min and log_max = log10 omega_max in
-  List.init points (fun k ->
-      let frac = float_of_int k /. float_of_int (points - 1) in
-      let omega = 10.0 ** (log_min +. (frac *. (log_max -. log_min))) in
-      { omega; response = transfer ?alpha sys omega })
+  let omegas =
+    Array.init points (fun k ->
+        let frac = float_of_int k /. float_of_int (points - 1) in
+        10.0 ** (log_min +. (frac *. (log_max -. log_min))))
+  in
+  (* every frequency point is an independent factor-and-solve: fan the
+     sweep out over the domain pool (bit-identical to the serial loop) *)
+  let pool =
+    match pool with Some p -> p | None -> Opm_parallel.Pool.global ()
+  in
+  Array.to_list
+    (Opm_parallel.Pool.map pool
+       (fun omega -> { omega; response = transfer ?alpha sys omega })
+       omegas)
 
 let gain_db pt ~input ~output =
   20.0 *. log10 (Complex.norm (Cmat.get pt.response output input))

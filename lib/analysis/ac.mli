@@ -20,6 +20,7 @@ val transfer : ?alpha:float -> Descriptor.t -> float -> Cmat.t
     Raises [Cmat.Singular] if [jω] hits a pole exactly. *)
 
 val sweep :
+  ?pool:Opm_parallel.Pool.t ->
   ?alpha:float ->
   omega_min:float ->
   omega_max:float ->
@@ -27,7 +28,10 @@ val sweep :
   Descriptor.t ->
   point list
 (** Logarithmically spaced sweep, [points >= 2],
-    [0 < omega_min < omega_max]. *)
+    [0 < omega_min < omega_max]. The independent per-frequency solves
+    run on [pool] (default: the shared {!Opm_parallel.Pool.global}
+    pool, sized by [OPM_DOMAINS]); results are bit-identical to the
+    serial sweep for any pool size. *)
 
 val gain_db : point -> input:int -> output:int -> float
 (** [20·log₁₀ |G_{output,input}(jω)|]. *)

@@ -1,4 +1,8 @@
-let run evaluate values = Array.map (fun v -> (v, evaluate v)) values
+let run ?pool evaluate values =
+  let eval v = (v, evaluate v) in
+  match pool with
+  | None -> Array.map eval values
+  | Some p -> Opm_parallel.Pool.map p eval values
 
 let extreme name better pairs =
   if Array.length pairs = 0 then invalid_arg ("Sweep." ^ name ^ ": empty sweep");
@@ -52,11 +56,17 @@ let statistics values =
     q95 = percentile sorted 0.95;
   }
 
-let monte_carlo ?(seed = 42) ~samples ~sampler evaluate =
+let monte_carlo ?(seed = 42) ?pool ~samples ~sampler evaluate =
   if samples < 1 then invalid_arg "Sweep.monte_carlo: samples < 1";
   let st = Random.State.make [| seed |] in
+  (* draw all parameters serially (one shared RNG stream keeps the
+     sample set independent of the pool size), then evaluate in
+     parallel *)
+  let params = Array.init samples (fun _ -> sampler st) in
   let values =
-    Array.init samples (fun _ -> evaluate (sampler st))
+    match pool with
+    | None -> Array.map evaluate params
+    | Some p -> Opm_parallel.Pool.map p evaluate params
   in
   statistics values
 

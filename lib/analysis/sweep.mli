@@ -5,8 +5,12 @@
     Everything is deterministic: Monte-Carlo uses an explicit seed, so
     corner reports are reproducible. *)
 
-val run : ('a -> float) -> 'a array -> ('a * float) array
-(** Evaluate at each parameter value, in order. *)
+val run :
+  ?pool:Opm_parallel.Pool.t -> ('a -> float) -> 'a array -> ('a * float) array
+(** Evaluate at each parameter value, in order. With [pool] the
+    evaluations run in parallel (pass a pool only when [evaluate] is
+    pure — most simulate-and-measure closures are); the result array
+    order and contents are identical to the serial run. *)
 
 val argmin : ('a * float) array -> 'a * float
 (** Raises [Invalid_argument] on an empty sweep. *)
@@ -29,12 +33,16 @@ val statistics : float array -> stats
 
 val monte_carlo :
   ?seed:int ->
+  ?pool:Opm_parallel.Pool.t ->
   samples:int ->
   sampler:(Random.State.t -> 'a) ->
   ('a -> float) ->
   stats
 (** Draw [samples] parameters from [sampler] (seeded, default 42),
-    evaluate, and summarise. *)
+    evaluate, and summarise. All parameters are drawn first from one
+    sequential RNG stream, so the sample set — and hence the statistics
+    — are identical whether or not a [pool] parallelises the
+    evaluations. *)
 
 val uniform : lo:float -> hi:float -> Random.State.t -> float
 (** Convenience samplers for {!monte_carlo}. *)

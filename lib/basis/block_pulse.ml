@@ -15,7 +15,11 @@ let reconstruct grid coeffs t =
   let m = Grid.size grid in
   if Array.length coeffs <> m then
     invalid_arg "Block_pulse.reconstruct: coefficient length mismatch";
-  if t < 0.0 || t >= b.(m) then 0.0
+  if t < 0.0 || t > b.(m) then 0.0
+  else if t >= b.(m) then
+    (* clamp the exact right endpoint t = t_end to the last interval so
+       evaluating a waveform at the final time is not silently zero *)
+    coeffs.(m - 1)
   else begin
     (* binary search for the interval containing t *)
     let lo = ref 0 and hi = ref m in

@@ -18,7 +18,10 @@ val project_source : Grid.t -> Opm_signal.Source.t -> Vec.t
     sources. *)
 
 val reconstruct : Grid.t -> Vec.t -> float -> float
-(** Evaluate the BPF expansion at time [t] ([0] outside [[0, t_end)]). *)
+(** Evaluate the BPF expansion at time [t] ([0] outside [[0, t_end]]).
+    The exact right endpoint [t = t_end] is clamped to the last
+    interval, so the final time evaluates to the last coefficient
+    rather than 0. *)
 
 val integral_matrix : Grid.t -> Mat.t
 (** [H]: eq. (4) for uniform grids, eq. (17)'s [H̃] for adaptive ones

@@ -118,18 +118,50 @@ let solve_linear ~steps ~apply_e ~factor_for ~bu =
   done;
   x
 
-let cached_factor factor solve =
-  let cache = ref [] in
-  fun h rhs ->
-    let f =
-      match List.assoc_opt h !cache with
-      | Some f -> f
-      | None ->
-          let f = factor h in
-          cache := (h, f) :: !cache;
-          f
-    in
-    solve f rhs
+(* Bounded step-size → factorisation cache. An assoc list keyed on the
+   exact float step is pathological on fully-adaptive grids: every
+   column misses, so each lookup scans the whole list (O(m²) total) and
+   the list grows without bound. A hashtable gives O(1) lookups and a
+   capacity cap bounds the memory; on overflow the cache is reset —
+   adaptive grids that miss every time pay exactly one factorisation
+   per column either way, while uniform and few-distinct-step grids
+   stay fully cached. *)
+module Factor_cache = struct
+  type 'f t = {
+    capacity : int;
+    table : (float, 'f) Hashtbl.t;
+    mutable hits : int;
+    mutable misses : int;
+  }
+
+  let default_capacity = 64
+
+  let create ?(capacity = default_capacity) () =
+    if capacity < 1 then invalid_arg "Engine.Factor_cache.create: capacity < 1";
+    { capacity; table = Hashtbl.create capacity; hits = 0; misses = 0 }
+
+  let length c = Hashtbl.length c.table
+
+  let hits c = c.hits
+
+  let misses c = c.misses
+
+  let find_or_add c h factor =
+    match Hashtbl.find_opt c.table h with
+    | Some f ->
+        c.hits <- c.hits + 1;
+        f
+    | None ->
+        c.misses <- c.misses + 1;
+        let f = factor h in
+        if Hashtbl.length c.table >= c.capacity then Hashtbl.reset c.table;
+        Hashtbl.add c.table h f;
+        f
+end
+
+let cached_factor ?capacity factor solve =
+  let cache = Factor_cache.create ?capacity () in
+  fun h rhs -> solve (Factor_cache.find_or_add cache h factor) rhs
 
 let solve_linear_dense ~steps ~e ~a ~bu =
   let factor_for =

@@ -46,6 +46,34 @@ val solve_linear_dense :
     [O(n^β·#distinct steps + n·m)] instead of the generic engine's
     [O(n·m²)]. Never materialises [D]. *)
 
+(** Bounded step-size → factorisation cache used by the order-1 fast
+    paths. A hashtable keyed on the exact float step gives O(1) lookups
+    (the former assoc list scanned linearly — O(m²) over a
+    fully-adaptive grid — and grew without bound); when [capacity]
+    distinct steps are exceeded the cache resets, bounding memory while
+    keeping uniform and few-distinct-step grids fully cached. *)
+module Factor_cache : sig
+  type 'f t
+
+  val default_capacity : int
+  (** 64. *)
+
+  val create : ?capacity:int -> unit -> 'f t
+  (** Raises [Invalid_argument] if [capacity < 1]. *)
+
+  val find_or_add : 'f t -> float -> (float -> 'f) -> 'f
+  (** [find_or_add c h factor] returns the cached factorisation for
+      step [h], calling [factor h] (and evicting on overflow) on a
+      miss. *)
+
+  val length : 'f t -> int
+  (** Currently cached entries; always [<= capacity]. *)
+
+  val hits : 'f t -> int
+
+  val misses : 'f t -> int
+end
+
 val solve_linear_sparse :
   steps:float array -> e:Csr.t -> a:Csr.t -> bu:Mat.t -> Mat.t
 (** Sparse-backend version of {!solve_linear_dense}. *)

@@ -1,6 +1,7 @@
 open Opm_numkit
 open Opm_basis
 open Opm_signal
+module Pool = Opm_parallel.Pool
 
 type t = {
   grid : Grid.t;
@@ -12,13 +13,18 @@ type t = {
 let make ~grid ~x ~c ~state_names ~output_names =
   let times = Grid.midpoints grid in
   let n, _m = Mat.dims x in
+  let pool = Pool.global () in
+  (* per-channel extraction is independent row work: fan it (and the
+     C·X output product) out over the domain pool *)
   let states =
-    Waveform.make ~labels:state_names times (Array.init n (fun i -> Mat.row x i))
+    Waveform.make ~labels:state_names times
+      (Pool.init pool n (fun i -> Mat.row x i))
   in
-  let y = Mat.mul c x in
+  let y = Mat.par_mul pool c x in
   let q, _ = Mat.dims y in
   let outputs =
-    Waveform.make ~labels:output_names times (Array.init q (fun i -> Mat.row y i))
+    Waveform.make ~labels:output_names times
+      (Pool.init pool q (fun i -> Mat.row y i))
   in
   { grid; x; states; outputs }
 

@@ -84,14 +84,10 @@ let sub a b =
 
 let scale s a = map (fun x -> s *. x) a
 
-let mul a b =
-  if a.cols <> b.rows then
-    invalid_arg
-      (Printf.sprintf "Mat.mul: inner dimension mismatch (%dx%d * %dx%d)"
-         a.rows a.cols b.rows b.cols);
-  let c = zeros a.rows b.cols in
-  (* ikj loop order keeps the inner accesses contiguous in row-major data *)
-  for i = 0 to a.rows - 1 do
+(* ikj loop order keeps the inner accesses contiguous in row-major data;
+   shared row-range kernel for the serial and parallel products *)
+let mul_rows a b c lo hi =
+  for i = lo to hi - 1 do
     for k = 0 to a.cols - 1 do
       let aik = get a i k in
       if aik <> 0.0 then
@@ -100,7 +96,31 @@ let mul a b =
             c.data.((i * c.cols) + j) +. (aik *. b.data.((k * b.cols) + j))
         done
     done
-  done;
+  done
+
+let check_mul a b =
+  if a.cols <> b.rows then
+    invalid_arg
+      (Printf.sprintf "Mat.mul: inner dimension mismatch (%dx%d * %dx%d)"
+         a.rows a.cols b.rows b.cols)
+
+let mul a b =
+  check_mul a b;
+  let c = zeros a.rows b.cols in
+  mul_rows a b c 0 a.rows;
+  c
+
+(* Row-blocked parallel product. Each domain owns a contiguous block of
+   output rows and runs the identical serial kernel over it, so the
+   result is bit-identical to [mul] for any pool size. *)
+let par_mul pool a b =
+  check_mul a b;
+  let c = zeros a.rows b.cols in
+  (* below ~64k flops the handshake costs more than the product *)
+  if a.rows * a.cols * b.cols < 65536 then mul_rows a b c 0 a.rows
+  else
+    Opm_parallel.Pool.parallel_for pool ~n:a.rows (fun i ->
+        mul_rows a b c i (i + 1));
   c
 
 let mul_vec a x =

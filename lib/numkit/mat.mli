@@ -58,6 +58,11 @@ val mul : t -> t -> t
 (** Matrix product. Raises [Invalid_argument] on inner-dimension
     mismatch. *)
 
+val par_mul : Opm_parallel.Pool.t -> t -> t -> t
+(** Row-blocked parallel matrix product: bit-identical to {!mul} for
+    any pool size (each output row is computed by the same serial
+    kernel). Falls back to the serial product below ~64k flops. *)
+
 val mul_vec : t -> Vec.t -> Vec.t
 
 val tmul_vec : t -> Vec.t -> Vec.t

@@ -30,8 +30,12 @@ let crossing_time ?(direction = `Either) w ~channel ~level =
       else go (i + 1)
     end
   in
-  (* handle an exact hit on the first sample *)
-  if y.(0) = level then times.(0) else go 1
+  (* an exact hit on the first sample has no preceding sample, so it
+     only counts for `Either — a `Rising/`Falling request must see the
+     signal actually come from the required side *)
+  match direction with
+  | `Either when y.(0) = level -> times.(0)
+  | `Either | `Rising | `Falling -> go 1
 
 let rise_time ?(low_frac = 0.1) ?(high_frac = 0.9) w ~channel =
   let _, y = channel_data w ~channel in

@@ -17,7 +17,9 @@ val crossing_time :
   level:float ->
   float
 (** First time the channel crosses [level] (default [`Either]),
-    linearly interpolated. *)
+    linearly interpolated. [`Rising] requires the previous sample
+    strictly below the level and [`Falling] strictly above; an exact
+    hit on the very first sample therefore only satisfies [`Either]. *)
 
 val rise_time :
   ?low_frac:float -> ?high_frac:float -> Waveform.t -> channel:int -> float

@@ -8,7 +8,7 @@ let cpow s alpha =
   if s = Complex.zero then if alpha = 0.0 then Complex.one else Complex.zero
   else Complex.exp (Complex.mul { Complex.re = alpha; im = 0.0 } (Complex.log s))
 
-let solve ?damping ~n_samples ~alpha ~t_end (sys : Descriptor.t) sources =
+let solve ?pool ?damping ~n_samples ~alpha ~t_end (sys : Descriptor.t) sources =
   if n_samples < 2 then invalid_arg "Freq_domain.solve: n_samples < 2";
   if t_end <= 0.0 then invalid_arg "Freq_domain.solve: t_end <= 0";
   let p = Descriptor.input_count sys in
@@ -37,35 +37,39 @@ let solve ?damping ~n_samples ~alpha ~t_end (sys : Descriptor.t) sources =
   let e = Cmat.of_real (Csr.to_dense sys.Descriptor.e) in
   let a = Cmat.of_real (Csr.to_dense sys.Descriptor.a) in
   let b = sys.Descriptor.b and c = sys.Descriptor.c in
-  (* response spectrum on the line s = σ + jω *)
+  let pool =
+    match pool with Some p -> p | None -> Opm_parallel.Pool.global ()
+  in
+  (* response spectrum on the line s = σ + jω; each frequency bin is an
+     independent factor-and-solve writing only column k, so the bins fan
+     out over the domain pool with bit-identical results *)
   let x_spec = Array.init n (fun _ -> Array.make n_samples Complex.zero) in
-  for k = 0 to n_samples - 1 do
-    let s = { Complex.re = sigma; im = omegas.(k) } in
-    let lhs = Cmat.sub (Cmat.scale (cpow s alpha) e) a in
-    let rhs =
-      Array.init n (fun r ->
-          let acc = ref Complex.zero in
-          for j = 0 to p - 1 do
-            acc :=
-              Complex.add !acc
-                (Complex.mul
-                   { Complex.re = Mat.get b r j; im = 0.0 }
-                   spectra.(j).(k))
-          done;
-          !acc)
-    in
-    let xk =
-      try Cmat.solve lhs rhs with
-      | Cmat.Singular _ ->
-          (* singular pencil exactly on the contour: skip the bin *)
-          Array.make n Complex.zero
-    in
-    for r = 0 to n - 1 do
-      x_spec.(r).(k) <- xk.(r)
-    done
-  done;
-  (* back to time domain; undo the damping *)
-  let x_time = Array.map (fun row -> Fft.ifft row) x_spec in
+  Opm_parallel.Pool.parallel_for pool ~n:n_samples (fun k ->
+      let s = { Complex.re = sigma; im = omegas.(k) } in
+      let lhs = Cmat.sub (Cmat.scale (cpow s alpha) e) a in
+      let rhs =
+        Array.init n (fun r ->
+            let acc = ref Complex.zero in
+            for j = 0 to p - 1 do
+              acc :=
+                Complex.add !acc
+                  (Complex.mul
+                     { Complex.re = Mat.get b r j; im = 0.0 }
+                     spectra.(j).(k))
+            done;
+            !acc)
+      in
+      let xk =
+        try Cmat.solve lhs rhs with
+        | Cmat.Singular _ ->
+            (* singular pencil exactly on the contour: skip the bin *)
+            Array.make n Complex.zero
+      in
+      for r = 0 to n - 1 do
+        x_spec.(r).(k) <- xk.(r)
+      done);
+  (* back to time domain; undo the damping (one IFFT per state row) *)
+  let x_time = Opm_parallel.Pool.map pool Fft.ifft x_spec in
   let channels =
     Array.init q (fun i ->
         Array.init n_samples (fun k ->

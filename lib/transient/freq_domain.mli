@@ -18,6 +18,7 @@ open Opm_core
     sample count. *)
 
 val solve :
+  ?pool:Opm_parallel.Pool.t ->
   ?damping:float ->
   n_samples:int ->
   alpha:float ->
@@ -27,5 +28,8 @@ val solve :
   Waveform.t
 (** Output waveform at the [n_samples] sample instants [t_k = k·T/N].
     [damping] is the contour abscissa [σ] (default [3/T]; [0] recovers
-    the textbook pure-FFT method). Raises [Invalid_argument] for
-    [n_samples < 2], negative damping, or a source-count mismatch. *)
+    the textbook pure-FFT method). The independent per-bin contour
+    solves run on [pool] (default: the shared
+    {!Opm_parallel.Pool.global} pool) with bit-identical results.
+    Raises [Invalid_argument] for [n_samples < 2], negative damping, or
+    a source-count mismatch. *)

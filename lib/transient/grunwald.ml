@@ -24,6 +24,9 @@ let solve ?memory_length ~h ~alpha ~t_end (sys : Descriptor.t) sources =
   let e = sys.Descriptor.e and a = sys.Descriptor.a in
   let lhs = Csr.add ~alpha:ha ~beta:(-1.0) e a in
   let f = Slu.factor lhs in
+  (* −h^{−α}·E is loop-invariant: build it once instead of re-scaling
+     the CSR matrix at every time step *)
+  let neg_ha_e = Csr.scale (-.ha) e in
   let times = Array.init (steps + 1) (fun k -> float_of_int k *. h) in
   let xs = Array.make (steps + 1) (Vec.zeros n) in
   for k = 1 to steps do
@@ -32,7 +35,7 @@ let solve ?memory_length ~h ~alpha ~t_end (sys : Descriptor.t) sources =
     for j = 1 to depth do
       Vec.axpy w.(j) xs.(k - j) hist
     done;
-    let rhs = Csr.mul_vec (Csr.scale (-.ha) e) hist in
+    let rhs = Csr.mul_vec neg_ha_e hist in
     let u = Array.map (fun src -> Source.eval src times.(k)) sources in
     Vec.axpy 1.0 (Mat.mul_vec sys.Descriptor.b u) rhs;
     xs.(k) <- Slu.solve f rhs

@@ -80,6 +80,23 @@ let test_bpf_reconstruct () =
   close "boundary belongs right" 2.0 (Block_pulse.reconstruct g c 0.25);
   close "outside" 0.0 (Block_pulse.reconstruct g c 1.5)
 
+(* regression: t = t_end used to fall through the [t >= b.(m)] rejection
+   and silently evaluate to 0 *)
+let test_bpf_reconstruct_right_endpoint () =
+  let g = Grid.uniform ~t_end:1.0 ~m:4 in
+  let c = [| 1.0; 2.0; 3.0; 4.0 |] in
+  close "exact right endpoint clamps to last interval" 4.0
+    (Block_pulse.reconstruct g c 1.0);
+  close "just past the end is still outside" 0.0
+    (Block_pulse.reconstruct g c (1.0 +. 1e-9));
+  let ga = Grid.adaptive [| 0.3; 0.1; 0.6 |] in
+  close "adaptive right endpoint" 7.0
+    (Block_pulse.reconstruct ga [| 5.0; 6.0; 7.0 |] (Grid.t_end ga));
+  (* a single-interval grid: both endpoints map to the only coefficient *)
+  let g1 = Grid.uniform ~t_end:2.0 ~m:1 in
+  close "m = 1 left" 9.0 (Block_pulse.reconstruct g1 [| 9.0 |] 0.0);
+  close "m = 1 right" 9.0 (Block_pulse.reconstruct g1 [| 9.0 |] 2.0)
+
 let test_bpf_project_source_matches_fn () =
   let g = Grid.adaptive [| 0.3; 0.1; 0.6 |] in
   let src = Opm_signal.Source.Sine { amplitude = 1.0; freq_hz = 0.7; phase = 0.1; offset = 0.2 } in
@@ -477,6 +494,7 @@ let () =
           t "project constant" test_bpf_project_constant;
           t "project linear" test_bpf_project_linear_exact_average;
           t "reconstruct" test_bpf_reconstruct;
+          t "reconstruct right endpoint" test_bpf_reconstruct_right_endpoint;
           t "project source = quadrature" test_bpf_project_source_matches_fn;
         ] );
       ( "operational",

@@ -180,6 +180,53 @@ let test_linear_fast_path_equals_generic () =
         (Mat.max_abs_diff x_sparse x_fast) ~tol:1e-9)
     [ Grid.uniform ~t_end:2.0 ~m:12; Grid.adaptive [| 0.2; 0.5; 0.1; 0.7; 0.3 |] ]
 
+(* regression: the step-size → factorisation cache was an unbounded
+   assoc list keyed on the exact float step, so a fully-adaptive grid
+   both scanned the whole list per column (O(m²)) and grew without
+   bound. The Hashtbl replacement must stay capacity-bounded while
+   keeping the fast path exact on a 512-step adaptive grid. *)
+let test_factor_cache_bounded () =
+  let cache = Engine.Factor_cache.create () in
+  let m = 512 in
+  let grid = Grid.geometric ~t_end:1.0 ~m ~ratio:1.005 in
+  let steps = Grid.steps grid in
+  Array.iter
+    (fun h ->
+      let f = Engine.Factor_cache.find_or_add cache h (fun h -> 2.0 /. h) in
+      close "cached value" (2.0 /. h) f ~tol:0.0)
+    steps;
+  check_bool "cache stays bounded on an all-distinct-step grid" true
+    (Engine.Factor_cache.length cache <= Engine.Factor_cache.default_capacity);
+  check_int "every distinct step is a miss" m (Engine.Factor_cache.misses cache);
+  (* a uniform grid is one miss and m − 1 hits *)
+  let uniform = Engine.Factor_cache.create () in
+  Array.iter
+    (fun h -> ignore (Engine.Factor_cache.find_or_add uniform h (fun h -> h)))
+    (Grid.steps (Grid.uniform ~t_end:1.0 ~m));
+  check_int "uniform grid factorises once" 1 (Engine.Factor_cache.misses uniform);
+  check_int "uniform grid hits the cache" (m - 1) (Engine.Factor_cache.hits uniform);
+  check_bool "tiny capacity accepted" true
+    (Engine.Factor_cache.length (Engine.Factor_cache.create ~capacity:1 ()) = 0);
+  check_bool "capacity 0 rejected" true
+    (try
+       ignore (Engine.Factor_cache.create ~capacity:0 ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_linear_fast_path_adaptive_512 () =
+  (* end-to-end: the cached fast path on a 512-step fully-adaptive grid
+     (every lookup misses and evicts) still matches the generic engine *)
+  let e, a = random_system 61 3 in
+  let m = 512 in
+  let grid = Grid.geometric ~t_end:1.0 ~m ~ratio:1.005 in
+  let st = Random.State.make [| 9 |] in
+  let bu = Mat.init 3 m (fun _ _ -> Random.State.float st 2.0 -. 1.0) in
+  let d = Block_pulse.differential_matrix grid in
+  let x_generic = Engine.solve_dense ~terms:[ (e, d) ] ~a ~bu in
+  let x_fast = Engine.solve_linear_dense ~steps:(Grid.steps grid) ~e ~a ~bu in
+  close "adaptive 512-step fast path = generic" 0.0
+    (Mat.max_abs_diff x_fast x_generic) ~tol:1e-6
+
 let test_engine_dimension_check () =
   let e, a = random_system 41 3 in
   let d = Block_pulse.differential_matrix (Grid.uniform ~t_end:1.0 ~m:4) in
@@ -579,6 +626,8 @@ let () =
           t "multi-term vs kron" test_engine_multi_term_kron;
           t "residual of matrix equation" test_engine_residual;
           t "linear fast path" test_linear_fast_path_equals_generic;
+          t "factor cache bounded" test_factor_cache_bounded;
+          t "fast path on 512-step adaptive grid" test_linear_fast_path_adaptive_512;
           t "dimension check" test_engine_dimension_check;
         ] );
       ( "linear",

@@ -219,6 +219,28 @@ let test_measure_crossing_direction () =
   close "falling" 1.5
     (Measure.crossing_time ~direction:`Falling w ~channel:0 ~level:0.5)
 
+(* regression: an exact level hit on the very first sample used to be
+   returned for every direction, even when `Rising/`Falling should have
+   rejected it (no preceding sample to cross from) *)
+let test_measure_crossing_first_sample () =
+  let times = [| 0.0; 1.0; 2.0; 3.0 |] in
+  let w = Waveform.make times [| [| 0.5; 1.0; 0.2; 0.8 |] |] in
+  close "either takes the exact first-sample hit" 0.0
+    (Measure.crossing_time ~direction:`Either w ~channel:0 ~level:0.5);
+  (* first genuine rising crossing: 0.2 → 0.8 between t = 2 and 3 *)
+  close "rising skips the first-sample hit" 2.5
+    (Measure.crossing_time ~direction:`Rising w ~channel:0 ~level:0.5);
+  (* first genuine falling crossing: 1.0 → 0.2 between t = 1 and 2 *)
+  close "falling skips the first-sample hit" 1.625
+    (Measure.crossing_time ~direction:`Falling w ~channel:0 ~level:0.5);
+  (* monotonically rising from the level: no falling crossing exists *)
+  let w_up = Waveform.make times [| [| 0.5; 0.6; 0.7; 0.8 |] |] in
+  check_bool "falling on a rising-only record raises" true
+    (try
+       ignore (Measure.crossing_time ~direction:`Falling w_up ~channel:0 ~level:0.5);
+       false
+     with Not_found -> true)
+
 let test_measure_rise_time () =
   let w = rc_waveform () in
   (* 10–90 rise of a first-order system = ln 9 · τ *)
@@ -382,6 +404,7 @@ let () =
           t "final value + peak" test_measure_final_and_peak;
           t "crossing time" test_measure_crossing;
           t "crossing direction" test_measure_crossing_direction;
+          t "crossing direction on first sample" test_measure_crossing_first_sample;
           t "rise time" test_measure_rise_time;
           t "overshoot" test_measure_overshoot;
           t "settling time" test_measure_settling;

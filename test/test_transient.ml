@@ -330,6 +330,43 @@ let test_gl_vs_opm_cross_check () =
   in
   check_bool "agree within −40 dB" true (err < -40.0)
 
+(* regression: the time loop used to rebuild [Csr.scale (−h^{−α}) E]
+   every step — O(steps·nnz) wasted allocation. With a dense 60×60 E
+   over 500 steps that alone would allocate ≥ 500·3600·8 ≈ 14 MB; with
+   the matrix hoisted out of the loop the whole solve stays far below
+   that. The solve itself allocates ~8 MB (mostly per-step sparse
+   triangular solves), so the 12 MB bound passes with the hoist and the
+   ≥ 22 MB pre-fix total fails it. (Allocation counts are deterministic
+   on one domain, so this is a stable bound, not a timing test.) *)
+let test_grunwald_hoisted_scale () =
+  let n = 60 in
+  let e = Mat.init n n (fun i j -> if i = j then 2.0 else 0.01) in
+  let a = Mat.init n n (fun i j -> if i = j then -1.0 else 0.0) in
+  let b = Mat.init n 1 (fun _ _ -> 1.0) in
+  let c = Mat.init 1 n (fun _ j -> if j = 0 then 1.0 else 0.0) in
+  let sys =
+    Descriptor.make ~e:(Opm_sparse.Csr.of_dense e) ~a:(Opm_sparse.Csr.of_dense a)
+      ~b ~c ()
+  in
+  let step = Source.Step { amplitude = 1.0; delay = 0.0 } in
+  (* warm-up keeps one-time costs (factorisation fill-in) out of the
+     measured window *)
+  ignore (Grunwald.solve ~memory_length:1 ~h:0.1 ~alpha:0.5 ~t_end:0.5 sys [| step |]);
+  let before = Gc.allocated_bytes () in
+  let w =
+    Grunwald.solve ~memory_length:1 ~h:0.002 ~alpha:0.5 ~t_end:1.0 sys [| step |]
+  in
+  let allocated = Gc.allocated_bytes () -. before in
+  check_bool
+    (Printf.sprintf "no per-step CSR rebuild (allocated %.1f MB)"
+       (allocated /. 1e6))
+    true
+    (allocated < 12e6);
+  (* and the response is still the monotone charging curve *)
+  let y = Waveform.channel w 0 in
+  check_bool "response still sane" true
+    (y.(0) = 0.0 && y.(Array.length y - 1) > 0.0)
+
 let () =
   let t name f = Alcotest.test_case name `Quick f in
   Alcotest.run "transient"
@@ -361,6 +398,7 @@ let () =
           t "tracks Mittag-Leffler" test_gl_tracks_mittag_leffler;
           t "short-memory principle" test_gl_short_memory;
           t "cross-check vs OPM" test_gl_vs_opm_cross_check;
+          t "scaled matrix hoisted out of loop" test_grunwald_hoisted_scale;
         ] );
       ( "periodic",
         [
