@@ -217,7 +217,7 @@ let ablation_basis () =
   (* BPF: the triangular structure admits the fast column solver *)
   let d_bpf = Block_pulse.differential_matrix grid in
   let t_bpf, x_bpf =
-    timed (fun () -> Engine.solve_dense ~terms:[ (e, d_bpf) ] ~a ~bu)
+    timed (fun () -> Engine.solve_dense ~terms:[ (e, d_bpf) ] ~a ~bu ())
   in
   (* Walsh: the similarity-transported D is dense, so only the full
      Kronecker solve applies — same answer, triangularity lost *)
@@ -334,7 +334,7 @@ let ablation_kron () =
       let st = Random.State.make [| 3 |] in
       let bu = Mat.init n m (fun _ _ -> Random.State.float st 2.0 -. 1.0) in
       let t_col, x1 =
-        timed (fun () -> Engine.solve_dense ~terms:[ (e, d) ] ~a ~bu)
+        timed (fun () -> Engine.solve_dense ~terms:[ (e, d) ] ~a ~bu ())
       in
       let t_kron, x2 =
         timed ~runs:1 (fun () ->
@@ -616,7 +616,11 @@ let strip_domains args =
     | "--domains" :: v :: rest ->
         (match int_of_string_opt v with
         | Some d when d >= 1 -> Pool.set_default_domains d
-        | Some _ | None -> failwith ("--domains: bad value " ^ v));
+        | Some _ | None ->
+            Printf.eprintf
+              "bench: warning: --domains %s is not a positive integer; \
+               ignored\n%!"
+              v);
         go rest
     | x :: rest -> x :: go rest
     | [] -> []

@@ -114,7 +114,36 @@ let domains_arg =
   in
   Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"N" ~doc)
 
-let run_tran net outputs t_end steps method_ tol =
+let check_arg =
+  let doc =
+    "Print a simulation health report (NaN/Inf counts, worst condition \
+     estimate, fallback events) to stderr after a transient run."
+  in
+  Arg.(value & flag & info [ "check" ] ~doc)
+
+let strict_arg =
+  let doc =
+    "Like $(b,--check), but exit with status 3 if the health report \
+     contains any warning."
+  in
+  Arg.(value & flag & info [ "strict" ] ~doc)
+
+module Health = Opm_robust.Health
+module Opm_error = Opm_robust.Opm_error
+
+(* A singular pencil is reported by the engine with the failing state
+   *index*; at this level we know the MNA state names, so attach the
+   name before the error escapes to the user. *)
+let with_state_names names f =
+  try f ()
+  with
+  | Opm_error.Error
+      (Opm_error.Singular_pencil ({ step; name = None; _ } as r))
+    when step >= 0 && step < Array.length names ->
+    Opm_error.raise_
+      (Opm_error.Singular_pencil { r with name = Some names.(step) })
+
+let run_tran ?health net outputs t_end steps method_ tol =
   let t_end =
     match t_end with
     | Some t -> t
@@ -125,10 +154,14 @@ let run_tran net outputs t_end steps method_ tol =
     | Opm_method ->
         let mt, srcs = Mna.stamp ?outputs net in
         let grid = Grid.uniform ~t_end ~m:steps in
-        (Opm.simulate_multi_term ~grid mt srcs).Sim_result.outputs
+        with_state_names mt.Multi_term.state_names (fun () ->
+            (Opm.simulate_multi_term ?health ~grid mt srcs).Sim_result.outputs)
     | Opm_adaptive ->
         let sys, srcs = Mna.stamp_linear ?outputs net in
-        let result, stats = Adaptive.solve ~tol ~t_end sys srcs in
+        let result, stats =
+          with_state_names sys.Descriptor.state_names (fun () ->
+              Adaptive.solve ~tol ?health ~t_end sys srcs)
+        in
         Logs.info (fun k ->
             k "adaptive: %d steps, %d rejected, %d factorisations"
               stats.Adaptive.accepted stats.Adaptive.rejected
@@ -159,6 +192,15 @@ let run_tran net outputs t_end steps method_ tol =
             Grunwald.solve ~h:(t_end /. float_of_int steps) ~alpha ~t_end sys srcs
         | None -> failwith "gl needs a purely fractional netlist (single CPE order)")
   in
+  (* the OPM paths record into [health] column by column inside the
+     engine; the baseline steppers know nothing about it, so give them a
+     post-hoc NaN/Inf scan of the produced waveform instead *)
+  (match (health, method_) with
+  | Some h, (Be | Trap | Gear | Fft | Gl | Exact) ->
+      for c = 0 to Opm_signal.Waveform.channel_count waveform - 1 do
+        Health.record_vec h (Opm_signal.Waveform.channel waveform c)
+      done
+  | _ -> ());
   Opm_signal.Waveform.print_csv waveform
 
 let run_ac net outputs fstart fstop points =
@@ -232,10 +274,13 @@ let run_poles net =
       Printf.printf "stable: %b\n" (Poles.is_stable ~shift:(-1.0) sys)
 
 let run netlist_path mode t_end steps method_ probes tol fstart fstop points
-    domains =
+    domains check strict =
   try
     (match domains with
-    | Some d -> Opm_parallel.Pool.set_default_domains d
+    | Some d when d >= 1 -> Opm_parallel.Pool.set_default_domains d
+    | Some d ->
+        Printf.eprintf
+          "opm_sim: warning: --domains %d is not positive; ignored\n%!" d
     | None -> ());
     let net = Parser.parse_file netlist_path in
     let outputs =
@@ -243,15 +288,30 @@ let run netlist_path mode t_end steps method_ probes tol fstart fstop points
       | [] -> None
       | ps -> Some (List.map (fun p -> Mna.Node_voltage p) ps)
     in
+    let health =
+      if (check || strict) && mode = Tran then Some (Health.create ())
+      else None
+    in
     (match mode with
-    | Tran -> run_tran net outputs t_end steps method_ tol
+    | Tran -> run_tran ?health net outputs t_end steps method_ tol
     | Ac_mode -> run_ac net outputs fstart fstop points
     | Dc_mode -> run_dc net outputs
     | Poles_mode -> run_poles net);
-    0
+    match health with
+    | None -> 0
+    | Some h ->
+        if check then Printf.eprintf "%s\n%!" (Health.to_string h);
+        if strict && Health.warnings h <> [] then begin
+          if not check then Printf.eprintf "%s\n%!" (Health.to_string h);
+          3
+        end
+        else 0
   with
   | Parser.Parse_error { line; message } ->
       Printf.eprintf "%s:%d: %s\n" netlist_path line message;
+      1
+  | Opm_error.Error e ->
+      Printf.eprintf "error: %s\n" (Opm_error.to_string e);
       1
   | Invalid_argument m | Failure m ->
       Printf.eprintf "error: %s\n" m;
@@ -270,7 +330,7 @@ let cmd =
     Term.(
       const run $ netlist_arg $ mode_arg $ t_end_arg $ steps_arg $ method_arg
       $ probes_arg $ tol_arg $ fstart_arg $ fstop_arg $ points_arg
-      $ domains_arg)
+      $ domains_arg $ check_arg $ strict_arg)
 
 let () =
   Logs.set_reporter (Logs.format_reporter ());

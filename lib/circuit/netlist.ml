@@ -63,9 +63,12 @@ let validate inst =
 
 let add t inst =
   validate inst;
-  if Hashtbl.mem t.names inst.name then
+  (* SPICE designators are case-insensitive: "r1" and "R1" name the same
+     element, so key the duplicate check on the folded form *)
+  let key = String.lowercase_ascii inst.name in
+  if Hashtbl.mem t.names key then
     invalid_arg (Printf.sprintf "Netlist.add: duplicate designator %s" inst.name);
-  Hashtbl.add t.names inst.name ();
+  Hashtbl.add t.names key ();
   let register node =
     if (not (is_ground node)) && not (Hashtbl.mem t.node_indices node) then begin
       Hashtbl.add t.node_indices node (Hashtbl.length t.node_indices);

@@ -42,7 +42,8 @@ type t
 val create : unit -> t
 
 val add : t -> instance -> unit
-(** Raises [Invalid_argument] on duplicate designators, non-positive
+(** Raises [Invalid_argument] on duplicate designators (compared
+    case-insensitively, matching SPICE convention), non-positive
     R/L/C/CPE values, or a ground-to-ground connection. *)
 
 val of_list : instance list -> t

@@ -198,10 +198,15 @@ let parse_string text =
   let net = Netlist.create () in
   String.split_on_char '\n' text
   |> List.iteri (fun i line ->
-         match parse_line (i + 1) line with
+         (* safety net: no bare [Failure] (e.g. from a value parser) may
+            escape without its 1-based line number attached *)
+         match
+           try parse_line (i + 1) line
+           with Failure m -> fail (i + 1) "%s" m
+         with
          | Some inst -> (
              try Netlist.add net inst
-             with Invalid_argument m -> fail (i + 1) "%s" m)
+             with Invalid_argument m | Failure m -> fail (i + 1) "%s" m)
          | None -> ());
   net
 

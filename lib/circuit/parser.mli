@@ -38,6 +38,8 @@ val parse_value : string -> float
 
 val parse_string : string -> Netlist.t
 (** Raises {!Parse_error} with a 1-based line number on any malformed
-    line. *)
+    line — malformed values, unknown elements, and netlist-level
+    rejections (duplicate designators, non-positive element values)
+    are all reported this way; no bare [Failure] escapes. *)
 
 val parse_file : string -> Netlist.t

@@ -1,6 +1,7 @@
 open Opm_numkit
 open Opm_basis
 open Opm_signal
+open Opm_robust
 
 type stats = {
   accepted : int;
@@ -16,7 +17,12 @@ type walk = {
   mutable salt : Vec.t;  (* alternating sum of accepted columns *)
 }
 
-let solve ?(tol = 1e-4) ?h_init ?h_min ?h_max ~t_end (sys : Descriptor.t) sources =
+(* consecutive halvings allowed when a trial step comes back NaN/Inf
+   before the driver gives up with a structured error *)
+let max_non_finite_retries = 3
+
+let solve ?(tol = 1e-4) ?health ?h_init ?h_min ?h_max ~t_end
+    (sys : Descriptor.t) sources =
   if t_end <= 0.0 then invalid_arg "Adaptive.solve: t_end <= 0";
   let n = Descriptor.order sys in
   let p = Descriptor.input_count sys in
@@ -35,7 +41,14 @@ let solve ?(tol = 1e-4) ?h_init ?h_min ?h_max ~t_end (sys : Descriptor.t) source
     | Some f -> f
     | None ->
         let m = Mat.sub (Mat.scale (2.0 /. h) e) a in
-        let f = Lu.factor m in
+        let f =
+          match Lu.factor m with
+          | f -> f
+          | exception Lu.Singular k ->
+              Opm_error.raise_
+                (Opm_error.Singular_pencil
+                   { column = 0; step = k; pivot = 0.0; name = None })
+        in
         incr factorizations;
         cache := (h, f) :: List.filteri (fun i _ -> i < 7) !cache;
         f
@@ -64,6 +77,8 @@ let solve ?(tol = 1e-4) ?h_init ?h_min ?h_max ~t_end (sys : Descriptor.t) source
   let steps = ref [] and cols = ref [] in
   let accepted = ref 0 and rejected = ref 0 in
   let h = ref (Float.min h_init h_max) in
+  (* consecutive non-finite trials at the current location *)
+  let nf_retries = ref 0 in
   while w.t < t_end -. (1e-12 *. t_end) do
     let h_trial = Float.min !h (t_end -. w.t) in
     (* full step *)
@@ -75,37 +90,73 @@ let solve ?(tol = 1e-4) ?h_init ?h_min ?h_max ~t_end (sys : Descriptor.t) source
     let x_h2 =
       column ~index:(w.index + 1) ~salt:salt' ~t:(w.t +. hh) hh
     in
-    (* both solutions estimate the same quantity — the BPF average of x
-       over [t, t+h] — as x_full and (x_h1 + x_h2)/2; their difference
-       is the Richardson local-error estimate *)
-    let x_halves = Vec.scale 0.5 (Vec.add x_h1 x_h2) in
-    let scale =
-      Float.max 1.0 (Float.max (Vec.norm_inf x_full) (Vec.norm_inf x_h2))
-    in
-    let err = Vec.max_abs_diff x_full x_halves /. scale in
-    if err <= tol || h_trial <= h_min *. 1.000001 then begin
-      if err > tol then
-        Logs.warn (fun k ->
-            k "Adaptive.solve: step %g at t=%g accepted above tolerance (err %g)"
-              h_trial w.t err);
-      (* accept the two half-step columns (the more accurate solution) *)
-      steps := hh :: hh :: !steps;
-      cols := x_h2 :: x_h1 :: !cols;
-      w.t <- w.t +. h_trial;
-      w.index <- w.index + 2;
-      w.salt <- advance_salt ~index:(w.index - 1) ~salt:salt' x_h2;
-      incr accepted;
-      (* grow the step when comfortably inside the tolerance; steps move
-         by factors of two only, so the LU cache keyed on h gets hits *)
-      let growth = 0.9 *. ((tol /. Float.max err 1e-300) ** 0.5) in
-      if growth >= 2.0 && 2.0 *. h_trial <= h_max then h := 2.0 *. h_trial
-      else h := h_trial
+    if
+      not
+        (Guard.is_finite x_full && Guard.is_finite x_h1
+        && Guard.is_finite x_h2)
+    then begin
+      (* a poisoned trial must not reach the error estimate (NaN
+         comparisons would silently reject forever): refine the local
+         grid — halve the step — a bounded number of times, then give
+         up with a structured error instead of propagating garbage *)
+      incr nf_retries;
+      if !nf_retries > max_non_finite_retries then begin
+        let worst =
+          List.find (fun v -> not (Guard.is_finite v))
+            [ x_full; x_h1; x_h2 ]
+        in
+        let nans, infs = Guard.count_non_finite worst in
+        Opm_error.raise_
+          (Opm_error.Non_finite
+             { stage = "adaptive"; column = Some w.index; nans; infs })
+      end;
+      Option.iter
+        (fun hl ->
+          Health.record_event hl
+            (Health.Step_halved { t = w.t; h = hh; retry = !nf_retries }))
+        health;
+      incr rejected;
+      h := Float.max h_min hh
     end
     else begin
-      incr rejected;
-      if h_trial <= h_min *. 1.000001 then
-        failwith "Adaptive.solve: tolerance unreachable at minimum step";
-      h := Float.max h_min (0.5 *. h_trial)
+      nf_retries := 0;
+      (* both solutions estimate the same quantity — the BPF average of x
+         over [t, t+h] — as x_full and (x_h1 + x_h2)/2; their difference
+         is the Richardson local-error estimate *)
+      let x_halves = Vec.scale 0.5 (Vec.add x_h1 x_h2) in
+      let scale =
+        Float.max 1.0 (Float.max (Vec.norm_inf x_full) (Vec.norm_inf x_h2))
+      in
+      let err = Vec.max_abs_diff x_full x_halves /. scale in
+      if err <= tol || h_trial <= h_min *. 1.000001 then begin
+        if err > tol then
+          Logs.warn (fun k ->
+              k "Adaptive.solve: step %g at t=%g accepted above tolerance (err %g)"
+                h_trial w.t err);
+        (* accept the two half-step columns (the more accurate solution) *)
+        steps := hh :: hh :: !steps;
+        cols := x_h2 :: x_h1 :: !cols;
+        (match health with
+        | None -> ()
+        | Some hl ->
+            Health.record_vec hl x_h1;
+            Health.record_vec hl x_h2);
+        w.t <- w.t +. h_trial;
+        w.index <- w.index + 2;
+        w.salt <- advance_salt ~index:(w.index - 1) ~salt:salt' x_h2;
+        incr accepted;
+        (* grow the step when comfortably inside the tolerance; steps move
+           by factors of two only, so the LU cache keyed on h gets hits *)
+        let growth = 0.9 *. ((tol /. Float.max err 1e-300) ** 0.5) in
+        if growth >= 2.0 && 2.0 *. h_trial <= h_max then h := 2.0 *. h_trial
+        else h := h_trial
+      end
+      else begin
+        incr rejected;
+        if h_trial <= h_min *. 1.000001 then
+          failwith "Adaptive.solve: tolerance unreachable at minimum step";
+        h := Float.max h_min (0.5 *. h_trial)
+      end
     end
   done;
   let steps = Array.of_list (List.rev !steps) in
@@ -115,8 +166,8 @@ let solve ?(tol = 1e-4) ?h_init ?h_min ?h_max ~t_end (sys : Descriptor.t) source
   let x = Mat.zeros n m in
   Array.iteri (fun i col -> Mat.set_col x i col) cols;
   let result =
-    Sim_result.make ~grid ~x ~c:sys.Descriptor.c
+    Sim_result.make ?health ~grid ~x ~c:sys.Descriptor.c
       ~state_names:sys.Descriptor.state_names
-      ~output_names:sys.Descriptor.output_names
+      ~output_names:sys.Descriptor.output_names ()
   in
   (result, { accepted = m; rejected = !rejected; factorizations = !factorizations })

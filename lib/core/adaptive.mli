@@ -22,8 +22,13 @@ type stats = {
   factorizations : int;  (** distinct diagonal-block factorisations *)
 }
 
+val max_non_finite_retries : int
+(** 3 — consecutive step halvings allowed when a trial produces NaN/Inf
+    before {!solve} raises [Opm_robust.Opm_error.Error (Non_finite _)]. *)
+
 val solve :
   ?tol:float ->
+  ?health:Opm_robust.Health.t ->
   ?h_init:float ->
   ?h_min:float ->
   ?h_max:float ->
@@ -34,4 +39,12 @@ val solve :
 (** [tol] is the per-step local error tolerance relative to the state
     scale (default [1e-4]). [h_init] defaults to [t_end/100]; [h_min]
     to [t_end·1e-9]; [h_max] to [t_end/4]. Raises [Failure] if the
-    controller hits [h_min] without meeting [tol]. *)
+    controller hits [h_min] without meeting [tol].
+
+    A trial step whose solution contains NaN/Inf is never fed to the
+    error estimate (whose NaN comparisons would reject forever):
+    the step is halved — local grid refinement — up to
+    {!max_non_finite_retries} consecutive times, each halving recorded
+    as a [Step_halved] event in [health]; on exhaustion
+    [Opm_robust.Opm_error.Error (Non_finite _)] is raised. A singular
+    trial pencil raises the structured [Singular_pencil] error. *)

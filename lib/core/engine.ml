@@ -1,5 +1,6 @@
 open Opm_numkit
 open Opm_sparse
+open Opm_robust
 
 let check_terms_dims ~n ~m terms a_rows a_cols =
   if a_rows <> n || a_cols <> n then
@@ -36,7 +37,169 @@ let column_rhs ~n ~bu ~terms ~apply_e ~cols i =
     terms;
   rhs
 
-let solve_dense ~terms ~a ~bu =
+(* ------------------------------------------------------------------ *)
+(* Fallback cascade                                                    *)
+
+let record_event health e = Option.iter (fun h -> Health.record_event h e) health
+
+(* ‖M x − rhs‖∞ given M·x; NaN entries count as an infinite residual *)
+let residual_of ax rhs =
+  let r = ref 0.0 in
+  for i = 0 to Array.length rhs - 1 do
+    let d = ax.(i) -. rhs.(i) in
+    if Float.is_nan d then r := Float.infinity
+    else begin
+      let d = Float.abs d in
+      if d > !r then r := d
+    end
+  done;
+  !r
+
+(* One step of iterative refinement on the diagonal block: the refined
+   column is kept only when it is finite and strictly reduces the
+   residual, so this is a bit-identical no-op whenever the trigger fires
+   spuriously. Returns the column and its residual. *)
+let refine_column ?health ~column ~solve ~apply x rhs =
+  let n = Array.length rhs in
+  let ax = apply x in
+  let res0 = residual_of ax rhs in
+  let r = Array.init n (fun i -> rhs.(i) -. ax.(i)) in
+  match Guard.protect (fun () -> solve r) with
+  | Error _ ->
+      record_event health
+        (Health.Refined
+           { column; residual_before = res0; residual_after = res0; kept = false });
+      (x, res0)
+  | Ok dx ->
+      let x' = Array.init n (fun i -> x.(i) +. dx.(i)) in
+      let res1 = residual_of (apply x') rhs in
+      let kept = Guard.is_finite x' && res1 < res0 in
+      record_event health
+        (Health.Refined
+           { column; residual_before = res0; residual_after = res1; kept });
+      if kept then (x', res1) else (x, res0)
+
+let raise_non_finite ~stage ~column x =
+  let nans, infs = Guard.count_non_finite x in
+  Opm_error.raise_
+    (Opm_error.Non_finite { stage; column = Some column; nans; infs })
+
+(* Post-solve guard shared by both backends: escalate non-finite columns
+   through [escalate] (strict pivoting / dense fallback, backend
+   specific), then attempt refinement when the factor's condition
+   estimate crosses [cond_limit], then book-keep into [health]. On a
+   finite, well-conditioned column this returns [x] untouched. *)
+let guard_column ?health ~cond_limit ~column ~solve ~apply ~cond ~escalate x
+    rhs =
+  let x = if Guard.is_finite x then x else escalate x in
+  let c = cond () in
+  Option.iter (fun h -> Health.record_cond h c) health;
+  let x, res =
+    if c > cond_limit then
+      let x, res = refine_column ?health ~column ~solve ~apply x rhs in
+      (x, Some res)
+    else (x, None)
+  in
+  (match health with
+  | None -> ()
+  | Some h ->
+      Health.record_vec h x;
+      let res =
+        match res with Some r -> r | None -> residual_of (apply x) rhs
+      in
+      Health.record_residual h res);
+  x
+
+(* --- dense blocks --------------------------------------------------- *)
+
+type dense_block = { dmat : Mat.t; dlu : Lu.t }
+
+let dense_block ~column dmat =
+  match Lu.factor dmat with
+  | lu -> { dmat; dlu = lu }
+  | exception Lu.Singular k ->
+      Opm_error.raise_
+        (Opm_error.Singular_pencil { column; step = k; pivot = 0.0; name = None })
+
+let solve_col_dense ?health ~cond_limit ~column blk rhs =
+  let solve = Lu.solve blk.dlu in
+  let apply = Mat.mul_vec blk.dmat in
+  let x = solve rhs in
+  (* dense LU already pivots strictly, so there is no stronger
+     factorisation to escalate to: a non-finite column is terminal *)
+  let escalate x = raise_non_finite ~stage:"solve-dense" ~column x in
+  guard_column ?health ~cond_limit ~column ~solve ~apply
+    ~cond:(fun () -> Lu.cond_est blk.dlu)
+    ~escalate x rhs
+
+(* --- sparse blocks -------------------------------------------------- *)
+
+type sparse_factor = Sfac of Slu.t | Dfac of Lu.t
+
+type sparse_block = {
+  smat : Csr.t;
+  mutable strict_tried : bool;
+  mutable sfac : sparse_factor;
+}
+
+let sparse_solve blk rhs =
+  match blk.sfac with Sfac f -> Slu.solve f rhs | Dfac f -> Lu.solve f rhs
+
+let sparse_cond blk =
+  match blk.sfac with Sfac f -> Slu.cond_est f | Dfac f -> Lu.cond_est f
+
+(* escalation rung 3: abandon the sparse factorisation entirely *)
+let dense_fallback_factor ?health ~column smat =
+  record_event health (Health.Dense_fallback { column });
+  match Lu.factor (Csr.to_dense smat) with
+  | lu -> Dfac lu
+  | exception Lu.Singular k ->
+      Opm_error.raise_
+        (Opm_error.Singular_pencil { column; step = k; pivot = 0.0; name = None })
+
+(* escalation rung 2: trade fill for stability with strict pivoting *)
+let strict_factor ?health ~column smat =
+  record_event health (Health.Strict_refactor { column });
+  match Slu.factor ~pivot_tol:1.0 smat with
+  | f -> Sfac f
+  | exception Slu.Singular _ -> dense_fallback_factor ?health ~column smat
+
+let sparse_block ?health ~column smat =
+  match Slu.factor smat with
+  | f -> { smat; strict_tried = false; sfac = Sfac f }
+  | exception Slu.Singular _ ->
+      { smat; strict_tried = true; sfac = strict_factor ?health ~column smat }
+
+let solve_col_sparse ?health ~cond_limit ~column blk rhs =
+  let x = sparse_solve blk rhs in
+  (* the escalations mutate [blk], so later columns sharing the cached
+     block reuse the strongest factorisation reached so far *)
+  let escalate x =
+    let x = ref x in
+    if (not blk.strict_tried) && not (Guard.is_finite !x) then begin
+      blk.strict_tried <- true;
+      blk.sfac <- strict_factor ?health ~column blk.smat;
+      x := sparse_solve blk rhs
+    end;
+    (match blk.sfac with
+    | Sfac _ when not (Guard.is_finite !x) ->
+        blk.sfac <- dense_fallback_factor ?health ~column blk.smat;
+        x := sparse_solve blk rhs
+    | Sfac _ | Dfac _ -> ());
+    if not (Guard.is_finite !x) then
+      raise_non_finite ~stage:"solve-sparse" ~column !x;
+    !x
+  in
+  guard_column ?health ~cond_limit ~column
+    ~solve:(fun r -> sparse_solve blk r)
+    ~apply:(Csr.mul_vec blk.smat)
+    ~cond:(fun () -> sparse_cond blk)
+    ~escalate x rhs
+
+(* ------------------------------------------------------------------ *)
+
+let solve_dense ?health ?(cond_limit = Health.default_cond_limit) ~terms ~a ~bu
+    () =
   let n, m = Mat.dims bu in
   check_terms_dims ~n ~m
     (List.map (fun (e, d) -> (Mat.dims e, Mat.dims d)) terms)
@@ -44,30 +207,31 @@ let solve_dense ~terms ~a ~bu =
   let term_mats = List.map fst terms in
   let apply_e k v = Mat.mul_vec (List.nth term_mats k) v in
   let cols = Array.make m [||] in
-  let cache : (float list * Lu.t) option ref = ref None in
+  let cache : (float list * dense_block) option ref = ref None in
   for i = 0 to m - 1 do
     let rhs = column_rhs ~n ~bu ~terms ~apply_e ~cols i in
     let key = diag_key terms i in
-    let lu =
+    let blk =
       match !cache with
-      | Some (k, f) when same_key k key -> f
+      | Some (k, b) when same_key k key -> b
       | _ ->
           let mat =
             List.fold_left2
               (fun acc (e, _) dii -> Mat.add acc (Mat.scale dii e))
               (Mat.scale (-1.0) a) terms key
           in
-          let f = Lu.factor mat in
-          cache := Some (key, f);
-          f
+          let b = dense_block ~column:i mat in
+          cache := Some (key, b);
+          b
     in
-    cols.(i) <- Lu.solve lu rhs
+    cols.(i) <- solve_col_dense ?health ~cond_limit ~column:i blk rhs
   done;
   let x = Mat.zeros n m in
   Array.iteri (fun i col -> Mat.set_col x i col) cols;
   x
 
-let solve_sparse ~terms ~a ~bu =
+let solve_sparse ?health ?(cond_limit = Health.default_cond_limit) ~terms ~a
+    ~bu () =
   let n, m = Mat.dims bu in
   check_terms_dims ~n ~m
     (List.map (fun (e, d) -> (Csr.dims e, Mat.dims d)) terms)
@@ -75,32 +239,32 @@ let solve_sparse ~terms ~a ~bu =
   let term_mats = List.map fst terms in
   let apply_e k v = Csr.mul_vec (List.nth term_mats k) v in
   let cols = Array.make m [||] in
-  let cache : (float list * Slu.t) option ref = ref None in
+  let cache : (float list * sparse_block) option ref = ref None in
   for i = 0 to m - 1 do
     let rhs = column_rhs ~n ~bu ~terms ~apply_e ~cols i in
     let key = diag_key terms i in
-    let slu =
+    let blk =
       match !cache with
-      | Some (k, f) when same_key k key -> f
+      | Some (k, b) when same_key k key -> b
       | _ ->
           let mat =
             List.fold_left2
               (fun acc (e, _) dii -> Csr.add ~alpha:1.0 ~beta:dii acc e)
               (Csr.scale (-1.0) a) terms key
           in
-          let f = Slu.factor mat in
-          cache := Some (key, f);
-          f
+          let b = sparse_block ?health ~column:i mat in
+          cache := Some (key, b);
+          b
     in
-    cols.(i) <- Slu.solve slu rhs
+    cols.(i) <- solve_col_sparse ?health ~cond_limit ~column:i blk rhs
   done;
   let x = Mat.zeros n m in
   Array.iteri (fun i col -> Mat.set_col x i col) cols;
   x
 
-(* order-1 fast path shared between backends: [factor_for h] returns a
-   cached solve function for (2/h·E − A) *)
-let solve_linear ~steps ~apply_e ~factor_for ~bu =
+(* order-1 fast path shared between backends: [solve_col h ~column rhs]
+   returns the guarded solution of (2/h·E − A) x = rhs *)
+let solve_linear ~steps ~apply_e ~solve_col ~bu =
   let n, m = Mat.dims bu in
   if Array.length steps <> m then
     invalid_arg "Engine.solve_linear: step count mismatch";
@@ -112,7 +276,7 @@ let solve_linear ~steps ~apply_e ~factor_for ~bu =
     let sign = if i land 1 = 1 then -1.0 else 1.0 in
     let coupling = apply_e salt in
     Vec.axpy (-4.0 /. h *. sign) coupling rhs;
-    let xi = factor_for h rhs in
+    let xi = solve_col h ~column:i rhs in
     Mat.set_col x i xi;
     Vec.axpy sign xi salt
   done;
@@ -159,25 +323,30 @@ module Factor_cache = struct
         f
 end
 
-let cached_factor ?capacity factor solve =
-  let cache = Factor_cache.create ?capacity () in
-  fun h rhs -> solve (Factor_cache.find_or_add cache h factor) rhs
-
-let solve_linear_dense ~steps ~e ~a ~bu =
-  let factor_for =
-    cached_factor
-      (fun h -> Lu.factor (Mat.sub (Mat.scale (2.0 /. h) e) a))
-      Lu.solve
+let solve_linear_dense ?health ?(cond_limit = Health.default_cond_limit)
+    ~steps ~e ~a ~bu () =
+  let cache = Factor_cache.create () in
+  let solve_col h ~column rhs =
+    let blk =
+      Factor_cache.find_or_add cache h (fun h ->
+          dense_block ~column (Mat.sub (Mat.scale (2.0 /. h) e) a))
+    in
+    solve_col_dense ?health ~cond_limit ~column blk rhs
   in
-  solve_linear ~steps ~apply_e:(Mat.mul_vec e) ~factor_for ~bu
+  solve_linear ~steps ~apply_e:(Mat.mul_vec e) ~solve_col ~bu
 
-let solve_linear_sparse ~steps ~e ~a ~bu =
-  let factor_for =
-    cached_factor
-      (fun h -> Slu.factor (Csr.add ~alpha:(2.0 /. h) ~beta:(-1.0) e a))
-      Slu.solve
+let solve_linear_sparse ?health ?(cond_limit = Health.default_cond_limit)
+    ~steps ~e ~a ~bu () =
+  let cache = Factor_cache.create () in
+  let solve_col h ~column rhs =
+    let blk =
+      Factor_cache.find_or_add cache h (fun h ->
+          sparse_block ?health ~column
+            (Csr.add ~alpha:(2.0 /. h) ~beta:(-1.0) e a))
+    in
+    solve_col_sparse ?health ~cond_limit ~column blk rhs
   in
-  solve_linear ~steps ~apply_e:(Csr.mul_vec e) ~factor_for ~bu
+  solve_linear ~steps ~apply_e:(Csr.mul_vec e) ~solve_col ~bu
 
 let integral_rhs ~one ~e_x0 ~bu_int =
   let n, m = Mat.dims bu_int in

@@ -1,5 +1,6 @@
 open Opm_numkit
 open Opm_sparse
+open Opm_robust
 
 (** The OPM linear-matrix-equation kernel.
 
@@ -18,15 +19,49 @@ open Opm_sparse
     When the [d^{(k)}_{ii}] are constant across columns (uniform time
     step) the left-hand matrix is factorised once and reused — that is
     why Table II shows OPM's runtime on par with one-factorisation
-    transient schemes. *)
+    transient schemes.
 
-val solve_dense : terms:(Mat.t * Mat.t) list -> a:Mat.t -> bu:Mat.t -> Mat.t
+    {2 Guardrails}
+
+    Every column solve runs behind a fallback cascade. A non-finite
+    column escalates — for the sparse backend: re-factor with strict
+    partial pivoting ([pivot_tol = 1.0]), then fall back to a dense LU
+    of the same block — and a factor whose Hager 1-norm condition
+    estimate exceeds [cond_limit] (default
+    {!Health.default_cond_limit}) gets one step of iterative
+    refinement, kept only when it strictly reduces the residual. On
+    well-conditioned inputs every guard is a bit-identical no-op. When
+    the cascade is exhausted the solvers raise the structured
+    {!Opm_error.Error} ([Singular_pencil] from the factorisations,
+    [Non_finite] from the solves) instead of a bare backend exception.
+    Pass [?health] to additionally collect per-column NaN/Inf counts,
+    the maximum residual [‖(Σ_k d_ii E_k − A) x_i − rhs_i‖∞] (equal,
+    column-wise, to [‖Σ_k E_k X D_k − A X − BU‖∞]), the worst condition
+    estimate, and the fallback events taken — collection never changes
+    the result. *)
+
+val solve_dense :
+  ?health:Health.t ->
+  ?cond_limit:float ->
+  terms:(Mat.t * Mat.t) list ->
+  a:Mat.t ->
+  bu:Mat.t ->
+  unit ->
+  Mat.t
 (** [terms] are [(E_k, D_k)] pairs. Raises [Invalid_argument] on
-    dimension mismatches, [Lu.Singular] if a diagonal block is
-    singular. *)
+    dimension mismatches, {!Opm_error.Error} if a diagonal block is
+    singular or a column stays non-finite. *)
 
-val solve_sparse : terms:(Csr.t * Mat.t) list -> a:Csr.t -> bu:Mat.t -> Mat.t
-(** Same algorithm with sparse [E_k], [A] and the sparse LU backend. *)
+val solve_sparse :
+  ?health:Health.t ->
+  ?cond_limit:float ->
+  terms:(Csr.t * Mat.t) list ->
+  a:Csr.t ->
+  bu:Mat.t ->
+  unit ->
+  Mat.t
+(** Same algorithm with sparse [E_k], [A] and the sparse LU backend
+    (plus the strict-pivoting and sparse→dense escalation rungs). *)
 
 val solve_dense_kron : terms:(Mat.t * Mat.t) list -> a:Mat.t -> bu:Mat.t -> Mat.t
 (** Reference implementation that forms the full
@@ -35,7 +70,14 @@ val solve_dense_kron : terms:(Mat.t * Mat.t) list -> a:Mat.t -> bu:Mat.t -> Mat.
     {!solve_dense} and to ablate the complexity claim. *)
 
 val solve_linear_dense :
-  steps:float array -> e:Mat.t -> a:Mat.t -> bu:Mat.t -> Mat.t
+  ?health:Health.t ->
+  ?cond_limit:float ->
+  steps:float array ->
+  e:Mat.t ->
+  a:Mat.t ->
+  bu:Mat.t ->
+  unit ->
+  Mat.t
 (** Order-1 fast path (paper §III-A: for linear systems [D]'s special
     pattern — column [i] is [(2/h_i)] on the diagonal and
     [4(−1)^{i−j}/h_i] above — reduces the per-column history to one
@@ -75,7 +117,14 @@ module Factor_cache : sig
 end
 
 val solve_linear_sparse :
-  steps:float array -> e:Csr.t -> a:Csr.t -> bu:Mat.t -> Mat.t
+  ?health:Health.t ->
+  ?cond_limit:float ->
+  steps:float array ->
+  e:Csr.t ->
+  a:Csr.t ->
+  bu:Mat.t ->
+  unit ->
+  Mat.t
 (** Sparse-backend version of {!solve_linear_dense}. *)
 
 (** {1 Integral-form OPM}

@@ -40,7 +40,7 @@ let bu_matrix ~grid (sys : Multi_term.t) sources =
   in
   Mat.mul sys.Multi_term.b u
 
-let solve_multi_term_general ~backend ~grid (sys : Multi_term.t) ~bu =
+let solve_multi_term_general ?health ~backend ~grid (sys : Multi_term.t) ~bu =
   let n = Multi_term.order sys in
   let dmats =
     List.map
@@ -49,17 +49,17 @@ let solve_multi_term_general ~backend ~grid (sys : Multi_term.t) ~bu =
       sys.Multi_term.terms
   in
   match pick_backend backend n with
-  | `Sparse -> Engine.solve_sparse ~terms:dmats ~a:sys.Multi_term.a ~bu
+  | `Sparse -> Engine.solve_sparse ?health ~terms:dmats ~a:sys.Multi_term.a ~bu ()
   | `Dense ->
       let terms = List.map (fun (e, d) -> (Csr.to_dense e, d)) dmats in
-      Engine.solve_dense ~terms ~a:(Csr.to_dense sys.Multi_term.a) ~bu
+      Engine.solve_dense ?health ~terms ~a:(Csr.to_dense sys.Multi_term.a) ~bu ()
 
 let shift_by_x0 x x0 =
   let n, m = Mat.dims x in
   Mat.init n m (fun r i -> Mat.get x r i +. x0.(r))
 
-let simulate_multi_term ?(backend = `Auto) ?x0 ~grid (sys : Multi_term.t)
-    sources =
+let simulate_multi_term ?(backend = `Auto) ?health ?x0 ~grid
+    (sys : Multi_term.t) sources =
   let n = Multi_term.order sys in
   let bu = bu_matrix ~grid sys sources in
   (* nonzero initial state by substitution z = x − x₀ (the Caputo
@@ -77,9 +77,9 @@ let simulate_multi_term ?(backend = `Auto) ?x0 ~grid (sys : Multi_term.t)
         (bu', fun x -> shift_by_x0 x x0)
   in
   let pack x =
-    Sim_result.make ~grid ~x:(finish x) ~c:sys.Multi_term.c
+    Sim_result.make ?health ~grid ~x:(finish x) ~c:sys.Multi_term.c
       ~state_names:sys.Multi_term.state_names
-      ~output_names:sys.Multi_term.output_names
+      ~output_names:sys.Multi_term.output_names ()
   in
   (* paper §III-A: the order-1 matrix D has a special pattern that turns
      the per-column history into one running alternating sum; dispatch to
@@ -90,21 +90,23 @@ let simulate_multi_term ?(backend = `Auto) ?x0 ~grid (sys : Multi_term.t)
       let x =
         match pick_backend backend n with
         | `Sparse ->
-            Engine.solve_linear_sparse ~steps ~e ~a:sys.Multi_term.a ~bu
+            Engine.solve_linear_sparse ?health ~steps ~e ~a:sys.Multi_term.a
+              ~bu ()
         | `Dense ->
-            Engine.solve_linear_dense ~steps ~e:(Csr.to_dense e)
-              ~a:(Csr.to_dense sys.Multi_term.a) ~bu
+            Engine.solve_linear_dense ?health ~steps ~e:(Csr.to_dense e)
+              ~a:(Csr.to_dense sys.Multi_term.a) ~bu ()
       in
       pack x
-  | _ -> pack (solve_multi_term_general ~backend ~grid sys ~bu)
+  | _ -> pack (solve_multi_term_general ?health ~backend ~grid sys ~bu)
 
-let simulate_fractional ?backend ?x0 ~grid ~alpha sys sources =
-  simulate_multi_term ?backend ?x0 ~grid
+let simulate_fractional ?backend ?health ?x0 ~grid ~alpha sys sources =
+  simulate_multi_term ?backend ?health ?x0 ~grid
     (Multi_term.of_fractional ~alpha sys)
     sources
 
-let simulate_linear ?backend ?x0 ~grid sys sources =
-  simulate_multi_term ?backend ?x0 ~grid (Multi_term.of_linear sys) sources
+let simulate_linear ?backend ?health ?x0 ~grid sys sources =
+  simulate_multi_term ?backend ?health ?x0 ~grid (Multi_term.of_linear sys)
+    sources
 
 let simulate_linear_kron ~grid (sys : Descriptor.t) sources =
   let mt = Multi_term.of_linear sys in
@@ -117,7 +119,7 @@ let simulate_linear_kron ~grid (sys : Descriptor.t) sources =
   in
   Sim_result.make ~grid ~x ~c:sys.Descriptor.c
     ~state_names:sys.Descriptor.state_names
-    ~output_names:sys.Descriptor.output_names
+    ~output_names:sys.Descriptor.output_names ()
 
 let simulate_linear_integral ?x0 ~grid (sys : Descriptor.t) sources =
   let mt = Multi_term.of_linear sys in
@@ -133,4 +135,4 @@ let simulate_linear_integral ?x0 ~grid (sys : Descriptor.t) sources =
   in
   Sim_result.make ~grid ~x ~c:sys.Descriptor.c
     ~state_names:sys.Descriptor.state_names
-    ~output_names:sys.Descriptor.output_names
+    ~output_names:sys.Descriptor.output_names ()

@@ -10,12 +10,20 @@ open Opm_signal
 
     Backend selection: [`Dense] uses dense LU on the diagonal blocks,
     [`Sparse] the sparse GP LU; [`Auto] (default) picks sparse for
-    systems larger than 64 states. *)
+    systems larger than 64 states.
+
+    All transient entry points accept [?health], an
+    {!Opm_robust.Health.t} collector threaded into the engine's
+    fallback cascade (see {!Engine}): NaN/Inf counts, residuals,
+    condition estimates and fallback events are recorded into it and
+    the filled report is carried on the returned {!Sim_result.t}.
+    Collection never changes the computed waveforms. *)
 
 type backend = [ `Auto | `Dense | `Sparse ]
 
 val simulate_linear :
   ?backend:backend ->
+  ?health:Opm_robust.Health.t ->
   ?x0:Opm_numkit.Vec.t ->
   grid:Grid.t ->
   Descriptor.t ->
@@ -30,6 +38,7 @@ val simulate_linear :
 
 val simulate_fractional :
   ?backend:backend ->
+  ?health:Opm_robust.Health.t ->
   ?x0:Opm_numkit.Vec.t ->
   grid:Grid.t ->
   alpha:float ->
@@ -44,6 +53,7 @@ val simulate_fractional :
 
 val simulate_multi_term :
   ?backend:backend ->
+  ?health:Opm_robust.Health.t ->
   ?x0:Opm_numkit.Vec.t ->
   grid:Grid.t ->
   Multi_term.t ->

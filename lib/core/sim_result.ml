@@ -8,9 +8,10 @@ type t = {
   x : Mat.t;
   states : Waveform.t;
   outputs : Waveform.t;
+  health : Opm_robust.Health.t option;
 }
 
-let make ~grid ~x ~c ~state_names ~output_names =
+let make ?health ~grid ~x ~c ~state_names ~output_names () =
   let times = Grid.midpoints grid in
   let n, _m = Mat.dims x in
   let pool = Pool.global () in
@@ -26,8 +27,15 @@ let make ~grid ~x ~c ~state_names ~output_names =
     Waveform.make ~labels:output_names times
       (Pool.init pool q (fun i -> Mat.row y i))
   in
-  { grid; x; states; outputs }
+  { grid; x; states; outputs; health }
 
 let output r i = Waveform.channel r.outputs i
 
 let state r i = Waveform.channel r.states i
+
+let health r = r.health
+
+let health_report ?cond_limit r =
+  match r.health with
+  | None -> None
+  | Some h -> Some (Opm_robust.Health.to_string ?cond_limit h)

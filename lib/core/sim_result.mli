@@ -11,17 +11,26 @@ type t = {
   x : Mat.t;  (** [n×m] BPF coefficients of the state *)
   states : Waveform.t;
   outputs : Waveform.t;
+  health : Opm_robust.Health.t option;
+      (** the collector the solve was run with, when one was passed *)
 }
 
 val make :
+  ?health:Opm_robust.Health.t ->
   grid:Grid.t ->
   x:Mat.t ->
   c:Mat.t ->
   state_names:string array ->
   output_names:string array ->
+  unit ->
   t
 
 val output : t -> int -> Vec.t
 (** Row [i] of the output waveform. *)
 
 val state : t -> int -> Vec.t
+
+val health : t -> Opm_robust.Health.t option
+
+val health_report : ?cond_limit:float -> t -> string option
+(** Rendered {!Opm_robust.Health.to_string} of the carried collector. *)

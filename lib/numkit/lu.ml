@@ -1,10 +1,29 @@
-type t = { lu : Mat.t; piv : int array; sign : float }
+type t = {
+  lu : Mat.t;
+  piv : int array;
+  sign : float;
+  norm1 : float;  (* ‖A‖₁ of the factored matrix, for cond_est *)
+  mutable cond1 : float option;  (* cached Hager estimate *)
+}
 
 exception Singular of int
+
+let mat_norm1 a =
+  let n, m = Mat.dims a in
+  let best = ref 0.0 in
+  for j = 0 to m - 1 do
+    let s = ref 0.0 in
+    for i = 0 to n - 1 do
+      s := !s +. Float.abs (Mat.get a i j)
+    done;
+    if !s > !best then best := !s
+  done;
+  !best
 
 let factor a =
   let n, m = Mat.dims a in
   if n <> m then invalid_arg "Lu.factor: non-square matrix";
+  let norm1 = mat_norm1 a in
   let lu = Mat.copy a in
   let piv = Array.init n (fun i -> i) in
   let sign = ref 1.0 in
@@ -36,7 +55,7 @@ let factor a =
         done
     done
   done;
-  { lu; piv; sign = !sign }
+  { lu; piv; sign = !sign; norm1; cond1 = None }
 
 let solve { lu; piv; _ } b =
   let n, _ = Mat.dims lu in
@@ -58,6 +77,30 @@ let solve { lu; piv; _ } b =
     done;
     x.(i) <- !s /. Mat.get lu i i
   done;
+  x
+
+let solve_transpose { lu; piv; _ } b =
+  let n, _ = Mat.dims lu in
+  if Array.length b <> n then
+    invalid_arg "Lu.solve_transpose: dimension mismatch";
+  (* A = P⁻¹LU, so Aᵀ x = b is Uᵀ z = b, Lᵀ w = z, x(piv(i)) = w(i) *)
+  let z = Array.copy b in
+  for i = 0 to n - 1 do
+    let s = ref z.(i) in
+    for j = 0 to i - 1 do
+      s := !s -. (Mat.get lu j i *. z.(j))
+    done;
+    z.(i) <- !s /. Mat.get lu i i
+  done;
+  for i = n - 1 downto 0 do
+    let s = ref z.(i) in
+    for j = i + 1 to n - 1 do
+      s := !s -. (Mat.get lu j i *. z.(j))
+    done;
+    z.(i) <- !s
+  done;
+  let x = Array.make n 0.0 in
+  Array.iteri (fun i p -> x.(p) <- z.(i)) piv;
   x
 
 let solve_mat lu b =
@@ -84,3 +127,57 @@ let inverse a =
   solve_mat (factor a) (Mat.eye n)
 
 let cond_estimate a = Mat.norm_inf a *. Mat.norm_inf (inverse a)
+
+(* Hager/Higham power iteration on ‖A⁻¹‖₁ using one solve with A and one
+   with Aᵀ per step (Higham, "FORTRAN codes for estimating the matrix
+   one-norm", Algorithm 2.4 without the extra-vector safeguard). *)
+let inv_norm1_est ~n ~solve ~solve_t =
+  if n = 0 then 0.0
+  else begin
+    let norm1 v = Array.fold_left (fun a x -> a +. Float.abs x) 0.0 v in
+    let x = ref (Array.make n (1.0 /. float_of_int n)) in
+    let est = ref 0.0 in
+    let finished = ref false in
+    let iter = ref 0 in
+    while (not !finished) && !iter < 5 do
+      incr iter;
+      let y = solve !x in
+      let e = norm1 y in
+      if not (Float.is_finite e) then begin
+        est := Float.infinity;
+        finished := true
+      end
+      else begin
+        if e > !est then est := e;
+        let xi = Array.map (fun v -> if v >= 0.0 then 1.0 else -1.0) y in
+        let z = solve_t xi in
+        let j = ref 0 in
+        for i = 1 to n - 1 do
+          if Float.abs z.(i) > Float.abs z.(!j) then j := i
+        done;
+        let zx = ref 0.0 in
+        for i = 0 to n - 1 do
+          zx := !zx +. (z.(i) *. !x.(i))
+        done;
+        if Float.abs z.(!j) <= !zx then finished := true
+        else begin
+          let ej = Array.make n 0.0 in
+          ej.(!j) <- 1.0;
+          x := ej
+        end
+      end
+    done;
+    !est
+  end
+
+let cond_est f =
+  match f.cond1 with
+  | Some c -> c
+  | None ->
+      let n, _ = Mat.dims f.lu in
+      let inv =
+        inv_norm1_est ~n ~solve:(solve f) ~solve_t:(solve_transpose f)
+      in
+      let c = f.norm1 *. inv in
+      f.cond1 <- Some c;
+      c

@@ -20,6 +20,11 @@ val factor : Mat.t -> t
 val solve : t -> Vec.t -> Vec.t
 (** [solve lu b] solves [A x = b] for the factored [A]. *)
 
+val solve_transpose : t -> Vec.t -> Vec.t
+(** [solve_transpose lu b] solves [Aᵀ x = b] from the same factors
+    ([A = P⁻¹LU ⇒ Aᵀ = UᵀLᵀP]); needed by the 1-norm condition
+    estimator. *)
+
 val solve_mat : t -> Mat.t -> Mat.t
 (** Solve with a matrix right-hand side (column by column). *)
 
@@ -33,3 +38,18 @@ val inverse : Mat.t -> Mat.t
 val cond_estimate : Mat.t -> float
 (** Rough condition-number estimate [‖A‖∞ · ‖A⁻¹‖∞] (forms the inverse;
     intended for diagnostics on small systems, not hot paths). *)
+
+val inv_norm1_est :
+  n:int -> solve:(Vec.t -> Vec.t) -> solve_t:(Vec.t -> Vec.t) -> float
+(** Hager/Higham estimate of [‖M⁻¹‖₁] for any operator given as a pair
+    of black-box solves with [M] and [Mᵀ] (at most 5 of each). Shared by
+    the dense and sparse [cond_est]. *)
+
+val cond_est : t -> float
+(** Hager/Higham 1-norm condition estimate [‖A‖₁ · est(‖A⁻¹‖₁)] from
+    the existing factors — a handful of triangular solves, no inverse.
+    Typically within a small factor of the true [κ₁(A)] (it is a lower
+    bound on [‖A⁻¹‖₁] by construction). The estimate is computed on
+    first call and cached on the factor, so cached factorisations
+    (e.g. {i Engine.Factor_cache} entries) carry their estimate for
+    free thereafter. *)

@@ -93,13 +93,27 @@ let worker t =
     end
   done
 
+(* Warn (once) about a malformed OPM_DOMAINS rather than silently
+   picking the hardware count: a typo like "OPM_DOMAINS=eight" or a
+   stray "-4" degrades to the safe serial pool so results are still
+   reproducible, and the stderr note tells the user why. *)
+let env_warned = ref false
+
 let env_domains () =
   match Sys.getenv_opt "OPM_DOMAINS" with
   | None -> None
   | Some s -> (
       match int_of_string_opt (String.trim s) with
       | Some d when d >= 1 -> Some (min d 512)
-      | Some _ | None -> None)
+      | Some _ | None ->
+          if not !env_warned then begin
+            env_warned := true;
+            Printf.eprintf
+              "opm: warning: OPM_DOMAINS=%S is not a positive integer; \
+               running serially\n%!"
+              s
+          end;
+          Some 1)
 
 (* Explicit process-wide override (e.g. a --domains CLI flag); takes
    precedence over OPM_DOMAINS, which takes precedence over the

@@ -12,7 +12,9 @@
 
     The default pool size is resolved in priority order:
     {!set_default_domains} override, then the [OPM_DOMAINS] environment
-    variable, then [Domain.recommended_domain_count ()].
+    variable, then [Domain.recommended_domain_count ()]. A malformed or
+    non-positive [OPM_DOMAINS] value falls back to the serial pool
+    (one domain) with a one-time warning on stderr.
 
     Pools are re-entrancy safe: a nested parallel call issued from
     inside a pool job (or against a busy pool) runs serially instead of

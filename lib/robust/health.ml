@@ -1,0 +1,103 @@
+type event =
+  | Refined of {
+      column : int;
+      residual_before : float;
+      residual_after : float;
+      kept : bool;
+    }
+  | Strict_refactor of { column : int }
+  | Dense_fallback of { column : int }
+  | Step_halved of { t : float; h : float; retry : int }
+
+let event_to_string = function
+  | Refined { column; residual_before; residual_after; kept } ->
+      Printf.sprintf
+        "iterative refinement on column %d: residual %.3g -> %.3g (%s)" column
+        residual_before residual_after
+        (if kept then "kept" else "discarded")
+  | Strict_refactor { column } ->
+      Printf.sprintf
+        "column %d: re-factored with strict partial pivoting (pivot_tol = 1)"
+        column
+  | Dense_fallback { column } ->
+      Printf.sprintf "column %d: sparse factorisation fell back to dense LU"
+        column
+  | Step_halved { t; h; retry } ->
+      Printf.sprintf
+        "adaptive: non-finite trial at t=%g, step halved to %g (retry %d)" t h
+        retry
+
+type t = {
+  mutable columns : int;
+  mutable nans : int;
+  mutable infs : int;
+  mutable max_residual : float;
+  mutable worst_cond : float;
+  mutable rev_events : event list;
+}
+
+let create () =
+  {
+    columns = 0;
+    nans = 0;
+    infs = 0;
+    max_residual = 0.0;
+    worst_cond = 0.0;
+    rev_events = [];
+  }
+
+let record_vec t v =
+  t.columns <- t.columns + 1;
+  let nans, infs = Guard.count_non_finite v in
+  t.nans <- t.nans + nans;
+  t.infs <- t.infs + infs
+
+let record_residual t r =
+  (* a NaN residual must not be lost to [Float.max]'s NaN handling *)
+  if Float.is_nan r then t.max_residual <- Float.infinity
+  else if r > t.max_residual then t.max_residual <- r
+
+let record_cond t c = if c > t.worst_cond then t.worst_cond <- c
+
+let record_event t e = t.rev_events <- e :: t.rev_events
+
+let columns t = t.columns
+let nans t = t.nans
+let infs t = t.infs
+let max_residual t = t.max_residual
+let worst_cond t = t.worst_cond
+let events t = List.rev t.rev_events
+let fallback_count t = List.length t.rev_events
+
+let default_cond_limit = 1e8
+
+let warnings ?(cond_limit = default_cond_limit) t =
+  let w = ref [] in
+  let add fmt = Printf.ksprintf (fun s -> w := s :: !w) fmt in
+  if t.nans > 0 || t.infs > 0 then
+    add "%d NaN and %d Inf entries in the solution" t.nans t.infs;
+  if t.worst_cond > cond_limit then
+    add "worst condition estimate %.3g exceeds %.3g — expect %.0f-digit loss"
+      t.worst_cond cond_limit
+      (Float.min 16.0 (Float.max 0.0 (Float.log10 t.worst_cond)));
+  if t.rev_events <> [] then
+    add "%d fallback event(s) taken (run was recoverable, not clean)"
+      (List.length t.rev_events);
+  List.rev !w
+
+let to_string ?cond_limit t =
+  let b = Buffer.create 256 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+  line "simulation health report";
+  line "  columns checked:      %d" t.columns;
+  line "  non-finite entries:   %d NaN, %d Inf" t.nans t.infs;
+  line "  max column residual:  %.6g" t.max_residual;
+  line "  worst cond estimate:  %.6g" t.worst_cond;
+  line "  fallback events:      %d" (List.length t.rev_events);
+  List.iter (fun e -> line "    - %s" (event_to_string e)) (events t);
+  (match warnings ?cond_limit t with
+  | [] -> line "status: ok"
+  | ws ->
+      line "status: %d warning(s)" (List.length ws);
+      List.iter (fun w -> line "  warning: %s" w) ws);
+  Buffer.contents b

@@ -1,0 +1,55 @@
+type t =
+  | Singular_pencil of {
+      column : int;
+      step : int;
+      pivot : float;
+      name : string option;
+    }
+  | Non_finite of {
+      stage : string;
+      column : int option;
+      nans : int;
+      infs : int;
+    }
+  | Ill_conditioned of { cond : float; limit : float; column : int option }
+  | Parse_error of { line : int; message : string }
+  | Resource_limit of { what : string; limit : int }
+
+exception Error of t
+
+let raise_ e = raise (Error e)
+
+let column_suffix = function
+  | None -> ""
+  | Some c -> Printf.sprintf " (time column %d)" c
+
+let to_string = function
+  | Singular_pencil { column; step; pivot; name } ->
+      let who =
+        match name with
+        | Some n -> Printf.sprintf "state %S (index %d)" n step
+        | None -> Printf.sprintf "elimination step %d" step
+      in
+      Printf.sprintf
+        "singular pencil: no acceptable pivot at %s while solving time \
+         column %d (best candidate %.3g) — the circuit has a redundant or \
+         contradictory constraint (e.g. a shorted/duplicated voltage source \
+         or a floating subcircuit)"
+        who column pivot
+  | Non_finite { stage; column; nans; infs } ->
+      Printf.sprintf
+        "non-finite result in stage %S%s: %d NaN and %d Inf entries survived \
+         every fallback" stage (column_suffix column) nans infs
+  | Ill_conditioned { cond; limit; column } ->
+      Printf.sprintf
+        "ill-conditioned system%s: 1-norm condition estimate %.3g exceeds \
+         limit %.3g" (column_suffix column) cond limit
+  | Parse_error { line; message } ->
+      Printf.sprintf "parse error at line %d: %s" line message
+  | Resource_limit { what; limit } ->
+      Printf.sprintf "resource limit: %s exceeded its bound of %d" what limit
+
+let () =
+  Printexc.register_printer (function
+    | Error e -> Some ("Opm_error.Error: " ^ to_string e)
+    | _ -> None)

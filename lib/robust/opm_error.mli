@@ -1,0 +1,48 @@
+(** Structured errors for the solve path.
+
+    Every guarded failure mode of the simulator is a constructor here,
+    so drivers ([bin/opm_sim], tests, services embedding the library)
+    can react to *what* failed — which column of the coefficient
+    equation, at which escalation stage, with what pivot magnitude —
+    instead of pattern-matching on a [Failure] string. The engine only
+    raises {!Error} after its fallback cascade (iterative refinement →
+    strict pivoting → sparse→dense) is exhausted. *)
+
+type t =
+  | Singular_pencil of {
+      column : int;  (** time column of the coefficient equation *)
+      step : int;  (** elimination step / matrix column that ran out of
+                       pivots (a state index for the MNA pencil) *)
+      pivot : float;  (** magnitude of the best rejected pivot *)
+      name : string option;  (** state name for [step], when known *)
+    }
+      (** No acceptable pivot while factorising [d_ii·E − A], even with
+          strict partial pivoting and a dense fallback. *)
+  | Non_finite of {
+      stage : string;  (** e.g. ["solve"], ["adaptive"], ["output"] *)
+      column : int option;  (** offending time column, when known *)
+      nans : int;
+      infs : int;
+    }
+      (** A result vector contained NaN/Inf after every fallback. *)
+  | Ill_conditioned of {
+      cond : float;  (** 1-norm condition estimate *)
+      limit : float;  (** threshold that was exceeded *)
+      column : int option;
+    }
+      (** Reserved for strict modes that promote a condition warning to
+          an error; the engine itself only warns. *)
+  | Parse_error of { line : int; message : string }
+      (** Netlist syntax error (mirror of [Circuit.Parser.Parse_error]
+          for uniform rendering). *)
+  | Resource_limit of { what : string; limit : int }
+      (** A bounded retry loop hit its cap, e.g. adaptive local grid
+          refinement. *)
+
+exception Error of t
+
+val raise_ : t -> 'a
+(** [raise_ e] raises [Error e]. *)
+
+val to_string : t -> string
+(** One-line human-readable rendering. *)

@@ -71,7 +71,13 @@ let rec adaptive_simpson f a b fa fm fb whole depth force =
   let flm = f lm and frm = f rm in
   let left = (m -. a) /. 6.0 *. (fa +. (4.0 *. flm) +. fm) in
   let right = (b -. m) /. 6.0 *. (fm +. (4.0 *. frm) +. fb) in
-  if depth <= 0 || (force <= 0 && Float.abs (left +. right -. whole) < 1e-12)
+  (* a non-finite panel can never satisfy the error test, so without the
+     finiteness bail-out a NaN-returning integrand would force the full
+     2^depth recursion; propagate the NaN immediately instead *)
+  if
+    depth <= 0
+    || not (Float.is_finite (left +. right))
+    || (force <= 0 && Float.abs (left +. right -. whole) < 1e-12)
   then left +. right
   else
     adaptive_simpson f a m fa flm fm left (depth - 1) (force - 1)

@@ -1,3 +1,5 @@
+open Opm_numkit
+
 exception Singular of int
 
 (* factor columns stored as parallel index/value arrays *)
@@ -12,6 +14,8 @@ type t = {
   perm : int array;  (** pivot position -> row *)
   sym : int array option;  (** fill-reducing symmetric permutation
                                (new -> old), when one was applied *)
+  norm1 : float;  (** ‖A‖₁ of the factored matrix, for cond_est *)
+  mutable cond1 : float option;  (** cached Hager estimate *)
 }
 
 let nnz_factors f =
@@ -113,7 +117,10 @@ let factor_ordered ~pivot_tol a sym =
       end;
       x.(v) <- 0.0
     done;
-    if !best < 0 || !best_mag < 1e-300 then raise (Singular j);
+    if !best < 0 || !best_mag < 1e-300 then
+      (* report the column in the *original* ordering so callers can name
+         the offending unknown *)
+      raise (Singular (match sym with Some p -> p.(j) | None -> j));
     (* threshold pivoting: keep the diagonal when it is big enough *)
     let pivot_row =
       if !diag_present && Float.abs !diag_val >= pivot_tol *. !best_mag then j
@@ -152,15 +159,28 @@ let factor_ordered ~pivot_tol a sym =
     pinv.(pivot_row) <- j;
     perm.(j) <- pivot_row
   done;
-  { n; l_cols; u_cols; pinv; perm; sym }
+  { n; l_cols; u_cols; pinv; perm; sym; norm1 = 0.0; cond1 = None }
+
+let csr_norm1 a =
+  let _, m = Csr.dims a in
+  let sums = Array.make m 0.0 in
+  Csr.iter (fun _ j v -> sums.(j) <- sums.(j) +. Float.abs v) a;
+  Array.fold_left Float.max 0.0 sums
 
 let factor ?(ordering = `Rcm) ?(pivot_tol = 0.1) a =
-  match ordering with
-  | `Natural -> factor_ordered ~pivot_tol a None
-  | `Rcm ->
-      let p = Rcm.ordering a in
-      let a' = Rcm.permute_symmetric a p in
-      factor_ordered ~pivot_tol a' (Some p)
+  if not (pivot_tol > 0.0 && pivot_tol <= 1.0) then
+    invalid_arg
+      (Printf.sprintf "Slu.factor: pivot_tol %g outside (0, 1]" pivot_tol);
+  let norm1 = csr_norm1 a in
+  let f =
+    match ordering with
+    | `Natural -> factor_ordered ~pivot_tol a None
+    | `Rcm ->
+        let p = Rcm.ordering a in
+        let a' = Rcm.permute_symmetric a p in
+        factor_ordered ~pivot_tol a' (Some p)
+  in
+  { f with norm1 }
 
 let solve_inner f b =
   (* forward: L y = P b; the L updates reference original row ids, so the
@@ -205,5 +225,58 @@ let solve f b =
       let x = Array.make f.n 0.0 in
       Array.iteri (fun i v -> x.(p.(i)) <- v) x';
       x
+
+(* Aᵀ x = b from the same factors: with A = P⁻¹LU (rows permuted, columns
+   in natural order), Uᵀ z = b runs forward over the U columns (column j
+   of U is row j of Uᵀ, diagonal stored last), Lᵀ w = z runs backward
+   using L's entries L(pinv(idx), k), and finally x(perm(k)) = w(k). *)
+let solve_transpose_inner f b =
+  let z = Array.copy b in
+  for j = 0 to f.n - 1 do
+    let uc = f.u_cols.(j) in
+    let u_n = Array.length uc.idx in
+    let s = ref z.(j) in
+    for t = 0 to u_n - 2 do
+      s := !s -. (uc.vals.(t) *. z.(uc.idx.(t)))
+    done;
+    z.(j) <- !s /. uc.vals.(u_n - 1)
+  done;
+  for k = f.n - 1 downto 0 do
+    let lc = f.l_cols.(k) in
+    let s = ref z.(k) in
+    for t = 0 to Array.length lc.idx - 1 do
+      s := !s -. (lc.vals.(t) *. z.(f.pinv.(lc.idx.(t))))
+    done;
+    z.(k) <- !s
+  done;
+  let x = Array.make f.n 0.0 in
+  for k = 0 to f.n - 1 do
+    x.(f.perm.(k)) <- z.(k)
+  done;
+  x
+
+let solve_transpose f b =
+  if Array.length b <> f.n then
+    invalid_arg "Slu.solve_transpose: dimension mismatch";
+  match f.sym with
+  | None -> solve_transpose_inner f b
+  | Some p ->
+      (* A' = P A Pᵀ ⇒ A'ᵀ = P Aᵀ Pᵀ: same permutation sandwich as solve *)
+      let b' = Array.init f.n (fun i -> b.(p.(i))) in
+      let x' = solve_transpose_inner f b' in
+      let x = Array.make f.n 0.0 in
+      Array.iteri (fun i v -> x.(p.(i)) <- v) x';
+      x
+
+let cond_est f =
+  match f.cond1 with
+  | Some c -> c
+  | None ->
+      let inv =
+        Lu.inv_norm1_est ~n:f.n ~solve:(solve f) ~solve_t:(solve_transpose f)
+      in
+      let c = f.norm1 *. inv in
+      f.cond1 <- Some c;
+      c
 
 let solve_dense a b = solve (factor a) b

@@ -22,15 +22,31 @@ open Opm_numkit
 type t
 
 exception Singular of int
-(** Numerically zero pivot column. *)
+(** Numerically zero pivot column, reported in the *original* (not
+    fill-reduced) ordering so callers can name the offending unknown. *)
 
 val factor : ?ordering:[ `Rcm | `Natural ] -> ?pivot_tol:float -> Csr.t -> t
-(** Default [ordering = `Rcm], [pivot_tol = 0.1]. [pivot_tol = 1.0]
-    recovers strict partial pivoting. Raises [Invalid_argument] on
-    non-square input, {!Singular} when no acceptable pivot exists. *)
+(** Default [ordering = `Rcm], [pivot_tol = 0.1].
+
+    [pivot_tol] must lie in [(0, 1]]: it is the fraction of the column
+    maximum a diagonal candidate must reach to be kept, so [1.0] means
+    the column maximum always wins — strict partial pivoting, maximum
+    stability, no regard for fill — and values near 0 keep the
+    fill-reducing order at the cost of stability. Raises
+    [Invalid_argument] on non-square input or a [pivot_tol] outside
+    [(0, 1]]; raises {!Singular} when no acceptable pivot exists. *)
 
 val solve : t -> Vec.t -> Vec.t
 (** Solve [A x = b] reusing the factorisation. *)
+
+val solve_transpose : t -> Vec.t -> Vec.t
+(** Solve [Aᵀ x = b] from the same factors (needed by {!cond_est}). *)
+
+val cond_est : t -> float
+(** Hager/Higham 1-norm condition estimate [‖A‖₁ · est(‖A⁻¹‖₁)] — a
+    handful of triangular solves on the existing factors. Computed on
+    first call, then cached on the factor, so cached factorisations
+    carry their estimate for free. *)
 
 val solve_dense : Csr.t -> Vec.t -> Vec.t
 (** One-shot convenience. *)

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Smoke-run every example executable passed as an argument: each must
+# exit 0 and must not emit NaN/Inf anywhere in its output. A waveform
+# that went non-finite is the classic silent failure mode of an
+# unguarded solver — catch it in CI, not in a paper figure.
+set -u
+
+status=0
+for exe in "$@"; do
+  out=$("$exe" 2>&1)
+  code=$?
+  name=$(basename "$exe")
+  if [ "$code" -ne 0 ]; then
+    echo "smoke: $name exited with status $code" >&2
+    status=1
+  fi
+  if printf '%s' "$out" | grep -Eiqw 'nan|inf'; then
+    echo "smoke: $name produced non-finite output:" >&2
+    printf '%s\n' "$out" | grep -Eiw 'nan|inf' | head -5 >&2
+    status=1
+  fi
+done
+exit $status

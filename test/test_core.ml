@@ -115,7 +115,7 @@ let test_engine_column_equals_kron () =
   let d = Block_pulse.differential_matrix grid in
   let st = Random.State.make [| 4 |] in
   let bu = Mat.init 5 m (fun _ _ -> Random.State.float st 2.0 -. 1.0) in
-  let x1 = Engine.solve_dense ~terms:[ (e, d) ] ~a ~bu in
+  let x1 = Engine.solve_dense ~terms:[ (e, d) ] ~a ~bu () in
   let x2 = Engine.solve_dense_kron ~terms:[ (e, d) ] ~a ~bu in
   close "identical" 0.0 (Mat.max_abs_diff x1 x2) ~tol:1e-8
 
@@ -126,9 +126,9 @@ let test_engine_sparse_equals_dense () =
   let d = Block_pulse.fractional_differential_matrix grid 0.6 in
   let st = Random.State.make [| 5 |] in
   let bu = Mat.init 12 m (fun _ _ -> Random.State.float st 2.0 -. 1.0) in
-  let xd = Engine.solve_dense ~terms:[ (e, d) ] ~a ~bu in
+  let xd = Engine.solve_dense ~terms:[ (e, d) ] ~a ~bu () in
   let xs =
-    Engine.solve_sparse ~terms:[ (Csr.of_dense e, d) ] ~a:(Csr.of_dense a) ~bu
+    Engine.solve_sparse ~terms:[ (Csr.of_dense e, d) ] ~a:(Csr.of_dense a) ~bu ()
   in
   close "identical" 0.0 (Mat.max_abs_diff xd xs) ~tol:1e-9
 
@@ -143,7 +143,7 @@ let test_engine_multi_term_kron () =
   let st = Random.State.make [| 6 |] in
   let bu = Mat.init 4 m (fun _ _ -> Random.State.float st 2.0 -. 1.0) in
   let terms = [ (e2, d2); (e1, d1) ] in
-  let x1 = Engine.solve_dense ~terms ~a ~bu in
+  let x1 = Engine.solve_dense ~terms ~a ~bu () in
   let x2 = Engine.solve_dense_kron ~terms ~a ~bu in
   close "identical" 0.0 (Mat.max_abs_diff x1 x2) ~tol:1e-7
 
@@ -155,7 +155,7 @@ let test_engine_residual () =
   let d = Block_pulse.differential_matrix grid in
   let st = Random.State.make [| 7 |] in
   let bu = Mat.init 6 m (fun _ _ -> Random.State.float st 2.0 -. 1.0) in
-  let x = Engine.solve_dense ~terms:[ (e, d) ] ~a ~bu in
+  let x = Engine.solve_dense ~terms:[ (e, d) ] ~a ~bu () in
   let residual = Mat.sub (Mat.mul (Mat.mul e x) d) (Mat.add (Mat.mul a x) bu) in
   close "residual" 0.0 (Mat.max_abs_diff residual (Mat.zeros 6 m)) ~tol:1e-7
 
@@ -169,12 +169,12 @@ let test_linear_fast_path_equals_generic () =
       let st = Random.State.make [| 8 |] in
       let bu = Mat.init 7 m (fun _ _ -> Random.State.float st 2.0 -. 1.0) in
       let d = Block_pulse.differential_matrix grid in
-      let x_generic = Engine.solve_dense ~terms:[ (e, d) ] ~a ~bu in
-      let x_fast = Engine.solve_linear_dense ~steps:(Grid.steps grid) ~e ~a ~bu in
+      let x_generic = Engine.solve_dense ~terms:[ (e, d) ] ~a ~bu () in
+      let x_fast = Engine.solve_linear_dense ~steps:(Grid.steps grid) ~e ~a ~bu () in
       close "fast = generic" 0.0 (Mat.max_abs_diff x_fast x_generic) ~tol:1e-8;
       let x_sparse =
         Engine.solve_linear_sparse ~steps:(Grid.steps grid)
-          ~e:(Csr.of_dense e) ~a:(Csr.of_dense a) ~bu
+          ~e:(Csr.of_dense e) ~a:(Csr.of_dense a) ~bu ()
       in
       close "sparse fast = dense fast" 0.0
         (Mat.max_abs_diff x_sparse x_fast) ~tol:1e-9)
@@ -222,8 +222,8 @@ let test_linear_fast_path_adaptive_512 () =
   let st = Random.State.make [| 9 |] in
   let bu = Mat.init 3 m (fun _ _ -> Random.State.float st 2.0 -. 1.0) in
   let d = Block_pulse.differential_matrix grid in
-  let x_generic = Engine.solve_dense ~terms:[ (e, d) ] ~a ~bu in
-  let x_fast = Engine.solve_linear_dense ~steps:(Grid.steps grid) ~e ~a ~bu in
+  let x_generic = Engine.solve_dense ~terms:[ (e, d) ] ~a ~bu () in
+  let x_fast = Engine.solve_linear_dense ~steps:(Grid.steps grid) ~e ~a ~bu () in
   close "adaptive 512-step fast path = generic" 0.0
     (Mat.max_abs_diff x_fast x_generic) ~tol:1e-6
 
@@ -232,7 +232,7 @@ let test_engine_dimension_check () =
   let d = Block_pulse.differential_matrix (Grid.uniform ~t_end:1.0 ~m:4) in
   check_bool "bu size mismatch rejected" true
     (try
-       ignore (Engine.solve_dense ~terms:[ (e, d) ] ~a ~bu:(Mat.zeros 3 5));
+       ignore (Engine.solve_dense ~terms:[ (e, d) ] ~a ~bu:(Mat.zeros 3 5) ());
        false
      with Invalid_argument _ -> true)
 
@@ -389,7 +389,7 @@ let test_mixed_order_terms () =
   let e = Mat.eye 1 and a = Mat.of_arrays [| [| -1.0 |] |] in
   let bu = Mat.init 1 m (fun _ _ -> 1.0) in
   let terms = [ (e, d1); (e, d12) ] in
-  let x1 = Engine.solve_dense ~terms ~a ~bu in
+  let x1 = Engine.solve_dense ~terms ~a ~bu () in
   let x2 = Engine.solve_dense_kron ~terms ~a ~bu in
   close "column = kron" 0.0 (Mat.max_abs_diff x1 x2) ~tol:1e-9
 
