@@ -22,6 +22,56 @@ open Opm_core
 open Opm_circuit
 open Opm_transient
 open Opm_analysis
+module Json = Opm_obs.Json
+module Metrics = Opm_obs.Metrics
+
+(* ------------------------------------------------------------------ *)
+(* machine-readable output (--json): the table commands additionally
+   write BENCH_<table>.json — one row per (method, size) measurement
+   plus a metrics snapshot — in the "opm-bench-v1" schema validated by
+   bench/validate.ml. [--smoke] shrinks the workloads for CI;
+   [--json-out FILE] overrides the default output path.               *)
+
+let json_mode = ref false
+
+let smoke_mode = ref false
+
+let json_out : string option ref = ref None
+
+let bench_schema = "opm-bench-v1"
+
+let json_rows : Json.t list ref = ref []
+
+let add_row ~method_ ~n ~m ~wall_s ~error_db =
+  if !json_mode then
+    json_rows :=
+      Json.Obj
+        [
+          ("method", Json.String method_);
+          ("n", Json.Int n);
+          ("m", Json.Int m);
+          ("wall_s", Json.Float wall_s);
+          ("error_db", Json.Float error_db);
+        ]
+      :: !json_rows
+
+let flush_json ~table ~default_file =
+  if !json_mode then begin
+    let doc =
+      Json.Obj
+        [
+          ("schema", Json.String bench_schema);
+          ("table", Json.String table);
+          ("smoke", Json.Bool !smoke_mode);
+          ("rows", Json.List (List.rev !json_rows));
+          ("metrics", Metrics.snapshot ());
+        ]
+    in
+    let file = Option.value !json_out ~default:default_file in
+    Json.to_file file doc;
+    json_rows := [];
+    Printf.eprintf "bench: wrote %s\n%!" file
+  end
 
 (* ------------------------------------------------------------------ *)
 (* timing helpers                                                      *)
@@ -89,16 +139,25 @@ let table1 () =
     "shape check: FFT-2 more accurate than FFT-1 and OPM cheapest: %s\n"
     (if shape_ok then "HOLDS" else "VIOLATED");
   (* independent accuracy yardstick: a fine OPM reference *)
+  let m_fine = if !smoke_mode then 128 else 512 in
   let fine =
-    Opm.simulate_fractional ~grid:(Grid.uniform ~t_end ~m:512) ~alpha sys srcs
+    Opm.simulate_fractional ~grid:(Grid.uniform ~t_end ~m:m_fine) ~alpha sys
+      srcs
   in
   let vs_fine w =
     Error.waveform_error_db ~reference:fine.Sim_result.outputs w
   in
   Printf.printf
-    "vs fine OPM (m = 512): OPM-8 %.1f dB, FFT-1 %.1f dB, FFT-2 %.1f dB\n"
+    "vs fine OPM (m = %d): OPM-8 %.1f dB, FFT-1 %.1f dB, FFT-2 %.1f dB\n"
+    m_fine
     (vs_fine opm.Sim_result.outputs)
-    (vs_fine fft1) (vs_fine fft2)
+    (vs_fine fft1) (vs_fine fft2);
+  let n = Descriptor.order sys in
+  add_row ~method_:"fft-1" ~n ~m:8 ~wall_s:t_fft1 ~error_db:(vs_fine fft1);
+  add_row ~method_:"fft-2" ~n ~m:100 ~wall_s:t_fft2 ~error_db:(vs_fine fft2);
+  add_row ~method_:"opm" ~n ~m:8 ~wall_s:t_opm
+    ~error_db:(vs_fine opm.Sim_result.outputs);
+  flush_json ~table:"table1" ~default_file:"BENCH_table1.json"
 
 (* ------------------------------------------------------------------ *)
 (* Table II — 3-D power grid: OPM (2nd-order NA) vs b-Euler/Gear/trap  *)
@@ -142,6 +201,8 @@ let table2 cli =
       mna_srcs
   in
   let err w = Error.average_relative_error_db ~reference w in
+  let n_mna = Descriptor.order mna_sys in
+  let steps_of h = int_of_float (Float.round (t_end /. h)) in
   Printf.printf "%-12s %-8s %12s %18s   %s\n" "Method" "Step" "Runtime"
     "Avg rel err (dB)" "paper: runtime / err";
   rule ();
@@ -154,6 +215,9 @@ let table2 cli =
     Printf.printf "%-12s %-8s %12s %18.1f   %s\n" "b-Euler"
       (Printf.sprintf "%g ps" (h *. 1e12))
       (pp_time t) (err w) paper;
+    add_row
+      ~method_:(Printf.sprintf "b-euler@%gps" (h *. 1e12))
+      ~n:n_mna ~m:(steps_of h) ~wall_s:t ~error_db:(err w);
     (t, err w)
   in
   let t_be10, e_be10 = be_row 10e-12 "334.7 s / -91 dB" in
@@ -166,6 +230,8 @@ let table2 cli =
   let e_gear = err w_gear in
   Printf.printf "%-12s %-8s %12s %18.1f   %s\n" "Gear" "10 ps" (pp_time t_gear)
     e_gear "359.1 s / -134 dB";
+  add_row ~method_:"gear" ~n:n_mna ~m:(steps_of h0) ~wall_s:t_gear
+    ~error_db:e_gear;
   let t_trap, w_trap =
     timed ~runs:1 (fun () ->
         Stepper.solve ~scheme:Stepper.Trapezoidal ~h:h0 ~t_end mna_sys mna_srcs)
@@ -173,6 +239,8 @@ let table2 cli =
   let e_trap = err w_trap in
   Printf.printf "%-12s %-8s %12s %18.1f   %s\n" "Trapezoidal" "10 ps"
     (pp_time t_trap) e_trap "347.2 s / -137 dB";
+  add_row ~method_:"trap" ~n:n_mna ~m:(steps_of h0) ~wall_s:t_trap
+    ~error_db:e_trap;
   let m = int_of_float (Float.round (t_end /. h0)) in
   let t_opm, r_opm =
     timed ~runs:1 (fun () ->
@@ -181,6 +249,9 @@ let table2 cli =
   let e_opm = err r_opm.Sim_result.outputs in
   Printf.printf "%-12s %-8s %12s %18.1f   %s\n" "OPM (NA)" "10 ps"
     (pp_time t_opm) e_opm "314.6 s / --";
+  add_row ~method_:"opm-na" ~n:(Multi_term.order na_sys) ~m ~wall_s:t_opm
+    ~error_db:e_opm;
+  flush_json ~table:"table2" ~default_file:"BENCH_table2.json";
   rule ();
   let shape1 = e_be10 > e_trap && e_be10 > e_gear in
   let shape2 = e_be1 < e_be10 && e_be5 < e_be10 in
@@ -368,6 +439,7 @@ let convergence () =
       ]
   in
   let sys, srcs = Mna.stamp_linear ~outputs:[ Mna.Node_voltage "c" ] net in
+  let n = Descriptor.order sys in
   let t_end = 2e-5 in
   let reference = Exact_lti.solve ~h:(t_end /. 4096.0) ~t_end sys srcs in
   Printf.printf "%-8s %14s %14s %14s %14s\n" "m" "OPM (dB)" "trap (dB)"
@@ -377,16 +449,25 @@ let convergence () =
     (fun m ->
       let h = t_end /. float_of_int m in
       let err w = Error.waveform_error_db ~reference w in
-      let e_opm =
-        err
-          (Opm.simulate_linear ~grid:(Grid.uniform ~t_end ~m) sys srcs)
-            .Sim_result.outputs
+      let t_opm, r_opm =
+        timed ~runs:1 (fun () ->
+            Opm.simulate_linear ~grid:(Grid.uniform ~t_end ~m) sys srcs)
       in
-      let e_of scheme = err (Stepper.solve ~scheme ~h ~t_end sys srcs) in
+      let e_opm = err r_opm.Sim_result.outputs in
+      add_row ~method_:"opm" ~n ~m ~wall_s:t_opm ~error_db:e_opm;
+      let e_of name scheme =
+        let t, w =
+          timed ~runs:1 (fun () -> Stepper.solve ~scheme ~h ~t_end sys srcs)
+        in
+        add_row ~method_:name ~n ~m ~wall_s:t ~error_db:(err w);
+        err w
+      in
       Printf.printf "%-8d %14.1f %14.1f %14.1f %14.1f\n" m e_opm
-        (e_of Stepper.Trapezoidal) (e_of Stepper.Gear2)
-        (e_of Stepper.Backward_euler))
-    [ 16; 32; 64; 128; 256; 512 ];
+        (e_of "trap" Stepper.Trapezoidal)
+        (e_of "gear" Stepper.Gear2)
+        (e_of "b-euler" Stepper.Backward_euler))
+    (if !smoke_mode then [ 16; 32; 64 ] else [ 16; 32; 64; 128; 256; 512 ]);
+  flush_json ~table:"convergence" ~default_file:"BENCH_convergence.json";
   print_endline
     "expected shape: OPM, trapezoidal and Gear improve ~12 dB per doubling\n\
      (order 2); backward Euler only ~6 dB (order 1) — the paper's claim (i)."
@@ -514,6 +595,87 @@ let parallel_sweep () =
     "serial and parallel results verified bit-identical at every pool size."
 
 (* ------------------------------------------------------------------ *)
+(* Observability overhead — the instrumented Table I kernel with the   *)
+(* metrics/trace flags off must be bit-identical to itself with them   *)
+(* on, and the enabled-vs-disabled overhead must stay under 2%         *)
+
+let obs_overhead () =
+  header "Observability overhead — Table I kernel, instrumentation off vs on";
+  let sys = Tline.model () in
+  let srcs = Tline.inputs () in
+  let alpha = Tline.alpha and t_end = Tline.t_end in
+  let m = if !smoke_mode then 64 else 256 in
+  let grid = Grid.uniform ~t_end ~m in
+  let kernel () = Opm.simulate_fractional ~grid ~alpha sys srcs in
+  let set b =
+    Metrics.set_enabled b;
+    Opm_obs.Trace.set_enabled b
+  in
+  (* identity: the same kernel, flags off then on, must produce the
+     same coefficient matrix bit for bit *)
+  set false;
+  let r_off = kernel () in
+  set true;
+  let r_on = kernel () in
+  set false;
+  let identical =
+    let q, mm = Mat.dims r_off.Sim_result.x in
+    let same = ref true in
+    for i = 0 to q - 1 do
+      for j = 0 to mm - 1 do
+        if
+          not
+            (Int64.equal
+               (Int64.bits_of_float (Mat.get r_off.Sim_result.x i j))
+               (Int64.bits_of_float (Mat.get r_on.Sim_result.x i j)))
+        then same := false
+      done
+    done;
+    !same
+  in
+  Printf.printf "bit-identical with instrumentation on vs off: %s\n"
+    (if identical then "HOLDS" else "VIOLATED");
+  (* overhead: interleaved off/on batches, then the *median* of the
+     per-pair on/off ratios — adjacent batches see the same machine
+     state, so clock-frequency drift and scheduler noise cancel within
+     a pair, and the median discards the pairs that still got hit *)
+  let reps = if !smoke_mode then 10 else 40 in
+  let batch () =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to reps do
+      ignore (kernel ())
+    done;
+    Unix.gettimeofday () -. t0
+  in
+  ignore (kernel ());
+  let pairs = if !smoke_mode then 5 else 11 in
+  let ratios = Array.make pairs 0.0 in
+  let t_off = ref infinity and t_on = ref infinity in
+  for p = 0 to pairs - 1 do
+    set false;
+    let a = batch () in
+    if a < !t_off then t_off := a;
+    set true;
+    let b = batch () in
+    if b < !t_on then t_on := b;
+    ratios.(p) <- b /. a
+  done;
+  set false;
+  Opm_obs.Trace.reset ();
+  Metrics.reset ();
+  Array.sort compare ratios;
+  let overhead = ratios.(pairs / 2) -. 1.0 in
+  Printf.printf
+    "kernel (m = %d): disabled %s/run, enabled %s/run, median overhead \
+     %+.2f%% (budget 2%%): %s\n"
+    m
+    (pp_time (!t_off /. float_of_int reps))
+    (pp_time (!t_on /. float_of_int reps))
+    (100.0 *. overhead)
+    (if overhead < 0.02 then "HOLDS" else "VIOLATED");
+  if not identical then exit 1
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per table                  *)
 
 let micro () =
@@ -609,9 +771,11 @@ let parse_grid_cli args =
   go args;
   !cli
 
-(* [--domains N] is accepted anywhere on the command line and sets the
-   process-wide default pool size (same effect as OPM_DOMAINS=N) *)
-let strip_domains args =
+(* Global options accepted anywhere on the command line:
+   [--domains N] sets the process-wide default pool size (same effect
+   as OPM_DOMAINS=N); [--json], [--smoke] and [--json-out FILE] control
+   the machine-readable output (see the top of this file). *)
+let strip_global args =
   let rec go = function
     | "--domains" :: v :: rest ->
         (match int_of_string_opt v with
@@ -622,21 +786,39 @@ let strip_domains args =
                ignored\n%!"
               v);
         go rest
+    | "--json" :: rest ->
+        json_mode := true;
+        go rest
+    | "--smoke" :: rest ->
+        smoke_mode := true;
+        go rest
+    | "--json-out" :: v :: rest ->
+        json_out := Some v;
+        go rest
     | x :: rest -> x :: go rest
     | [] -> []
   in
   go args
 
 let () =
-  match strip_domains (Array.to_list Sys.argv) with
+  let args = strip_global (Array.to_list Sys.argv) in
+  (* populate the snapshot that rides along in every BENCH_*.json *)
+  if !json_mode then Metrics.set_enabled true;
+  match args with
   | _ :: "table1" :: _ -> table1 ()
-  | _ :: "table2" :: rest -> table2 (parse_grid_cli rest)
+  | _ :: "table2" :: rest ->
+      let cli = parse_grid_cli rest in
+      let cli =
+        if !smoke_mode then { nx = 4; ny = 4; nz = 2; loads = 2 } else cli
+      in
+      table2 cli
   | _ :: "ablation-basis" :: _ -> ablation_basis ()
   | _ :: "ablation-adaptive" :: _ -> ablation_adaptive ()
   | _ :: "ablation-kron" :: _ -> ablation_kron ()
   | _ :: "convergence" :: _ -> convergence ()
   | _ :: "fft-sweep" :: _ -> fft_sweep ()
   | _ :: "parallel-sweep" :: _ -> parallel_sweep ()
+  | _ :: "obs-overhead" :: _ -> obs_overhead ()
   | _ :: "micro" :: _ -> micro ()
   | _ :: [] | _ :: "all" :: _ ->
       table1 ();
@@ -647,12 +829,13 @@ let () =
       convergence ();
       fft_sweep ();
       parallel_sweep ();
+      obs_overhead ();
       micro ()
   | _ :: cmd :: _ ->
       Printf.eprintf
         "unknown command %s (try table1, table2, ablation-basis, \
          ablation-adaptive, ablation-kron, convergence, fft-sweep, \
-         parallel-sweep, micro, all)\n"
+         parallel-sweep, obs-overhead, micro, all)\n"
         cmd;
       exit 1
   | [] -> assert false

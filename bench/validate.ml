@@ -1,0 +1,96 @@
+(* Schema validator for the BENCH_*.json documents emitted by
+   [main.exe -- <table> --json] (schema "opm-bench-v1").
+
+   Checks, for each file named on the command line:
+   - the document parses and carries the expected [schema] tag;
+   - [table] is a string and [metrics] is an object (the snapshot);
+   - [rows] is a non-empty list where every row has a string [method],
+     positive integer [n] and [m], and finite numeric [wall_s] (>= 0)
+     and [error_db] — NaN/Inf serialise as [null] and therefore fail
+     the numeric check, which is how a poisoned benchmark run is caught
+     in CI.
+
+   Exit status 0 iff every file validates. *)
+
+module Json = Opm_obs.Json
+
+exception Invalid of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Invalid s)) fmt
+
+let validate file =
+  let doc =
+    try Json.of_file file with
+    | Json.Parse_error { pos; message } ->
+        fail "parse error at offset %d: %s" pos message
+    | Sys_error m -> fail "%s" m
+  in
+  (match Json.member "schema" doc with
+  | Some (Json.String s) when s = "opm-bench-v1" -> ()
+  | Some (Json.String s) -> fail "schema %S, expected \"opm-bench-v1\"" s
+  | Some _ -> fail "schema field is not a string"
+  | None -> fail "missing schema field");
+  (match Option.map Json.to_string_opt (Json.member "table" doc) with
+  | Some (Some _) -> ()
+  | _ -> fail "missing or non-string table field");
+  (match Json.member "metrics" doc with
+  | Some (Json.Obj _) -> ()
+  | _ -> fail "missing metrics snapshot");
+  let rows =
+    match Option.map Json.to_list_opt (Json.member "rows" doc) with
+    | Some (Some l) -> l
+    | _ -> fail "missing or non-list rows field"
+  in
+  if rows = [] then fail "empty rows";
+  List.iteri
+    (fun i row ->
+      let get name =
+        match Json.member name row with
+        | Some v -> v
+        | None -> fail "row %d: missing field %S" i name
+      in
+      (match get "method" with
+      | Json.String _ -> ()
+      | _ -> fail "row %d: method is not a string" i);
+      let pos_int name =
+        match Json.to_int_opt (get name) with
+        | Some v when v > 0 -> ()
+        | Some v -> fail "row %d: %s = %d is not positive" i name v
+        | None -> fail "row %d: %s is not an integer" i name
+      in
+      pos_int "n";
+      pos_int "m";
+      let finite name =
+        match Json.to_float_opt (get name) with
+        | Some v when Float.is_finite v -> v
+        | Some _ -> fail "row %d: %s is not finite" i name
+        | None ->
+            fail "row %d: %s is not a number (NaN/Inf serialise as null)" i
+              name
+      in
+      if finite "wall_s" < 0.0 then fail "row %d: negative wall_s" i;
+      ignore (finite "error_db"))
+    rows;
+  List.length rows
+
+let () =
+  let files =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as files) -> files
+    | _ ->
+        prerr_endline "usage: validate FILE.json [FILE.json ...]";
+        exit 2
+  in
+  let ok =
+    List.fold_left
+      (fun ok file ->
+        match validate file with
+        | n ->
+            Printf.printf "validate: %s OK (%d rows)\n" file n;
+            ok
+        | exception Invalid msg ->
+            Printf.eprintf "validate: %s: %s\n" file msg;
+            false)
+      true files
+  in
+  exit (if ok then 0 else 1)

@@ -128,8 +128,32 @@ let strict_arg =
   in
   Arg.(value & flag & info [ "strict" ] ~doc)
 
+let metrics_arg =
+  let doc =
+    "Enable solver metrics (counters, timers, condition gauges) and \
+     print them to stderr after the run, followed by a flat span \
+     profile when tracing was on."
+  in
+  Arg.(value & flag & info [ "metrics" ] ~doc)
+
+let trace_arg =
+  let doc =
+    "Record nested solver spans and write them to $(docv) in the Chrome \
+     trace_event format (open with chrome://tracing or Perfetto)."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let report_arg =
+  let doc =
+    "Write one merged JSON report — run parameters, metrics snapshot, \
+     span profile, solver health — to $(docv)."
+  in
+  Arg.(value & opt (some string) None & info [ "report" ] ~docv:"FILE" ~doc)
+
 module Health = Opm_robust.Health
 module Opm_error = Opm_robust.Opm_error
+module Metrics = Opm_obs.Metrics
+module Trace = Opm_obs.Trace
 
 (* A singular pencil is reported by the engine with the failing state
    *index*; at this level we know the MNA state names, so attach the
@@ -273,8 +297,33 @@ let run_poles net =
       Array.iter pp_pole poles;
       Printf.printf "stable: %b\n" (Poles.is_stable ~shift:(-1.0) sys)
 
+let mode_name = function
+  | Tran -> "tran"
+  | Ac_mode -> "ac"
+  | Dc_mode -> "dc"
+  | Poles_mode -> "poles"
+
+(* Flush the requested observability outputs after a run: metrics dump
+   and span profile to stderr, Chrome trace and merged report to
+   files. *)
+let emit_observability ~metrics ~trace ~report ~run_params health =
+  if metrics then begin
+    Printf.eprintf "%s%!" (Metrics.to_text ());
+    if Trace.span_count () > 0 then
+      Printf.eprintf "\n%s%!" (Trace.to_profile_string ())
+  end;
+  (match trace with
+  | Some file -> Opm_obs.Json.to_file file (Trace.to_chrome_json ())
+  | None -> ());
+  match report with
+  | Some file ->
+      let health = Option.map Health.to_json health in
+      Opm_obs.Json.to_file file
+        (Opm_obs.Report.make ?health ~run:run_params ())
+  | None -> ()
+
 let run netlist_path mode t_end steps method_ probes tol fstart fstop points
-    domains check strict =
+    domains check strict metrics trace report =
   try
     (match domains with
     | Some d when d >= 1 -> Opm_parallel.Pool.set_default_domains d
@@ -282,6 +331,8 @@ let run netlist_path mode t_end steps method_ probes tol fstart fstop points
         Printf.eprintf
           "opm_sim: warning: --domains %d is not positive; ignored\n%!" d
     | None -> ());
+    if metrics || report <> None then Metrics.set_enabled true;
+    if trace <> None || report <> None then Trace.set_enabled true;
     let net = Parser.parse_file netlist_path in
     let outputs =
       match probes with
@@ -289,7 +340,8 @@ let run netlist_path mode t_end steps method_ probes tol fstart fstop points
       | ps -> Some (List.map (fun p -> Mna.Node_voltage p) ps)
     in
     let health =
-      if (check || strict) && mode = Tran then Some (Health.create ())
+      if (check || strict || report <> None) && mode = Tran then
+        Some (Health.create ())
       else None
     in
     (match mode with
@@ -297,6 +349,18 @@ let run netlist_path mode t_end steps method_ probes tol fstart fstop points
     | Ac_mode -> run_ac net outputs fstart fstop points
     | Dc_mode -> run_dc net outputs
     | Poles_mode -> run_poles net);
+    let run_params =
+      Opm_obs.Json.
+        [
+          ("command", String "opm_sim");
+          ("netlist", String netlist_path);
+          ("mode", String (mode_name mode));
+          ("steps", Int steps);
+          ( "t_end",
+            match t_end with Some t -> Float t | None -> Null );
+        ]
+    in
+    emit_observability ~metrics ~trace ~report ~run_params health;
     match health with
     | None -> 0
     | Some h ->
@@ -330,7 +394,8 @@ let cmd =
     Term.(
       const run $ netlist_arg $ mode_arg $ t_end_arg $ steps_arg $ method_arg
       $ probes_arg $ tol_arg $ fstart_arg $ fstop_arg $ points_arg
-      $ domains_arg $ check_arg $ strict_arg)
+      $ domains_arg $ check_arg $ strict_arg $ metrics_arg $ trace_arg
+      $ report_arg)
 
 let () =
   Logs.set_reporter (Logs.format_reporter ());

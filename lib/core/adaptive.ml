@@ -2,6 +2,13 @@ open Opm_numkit
 open Opm_basis
 open Opm_signal
 open Opm_robust
+module Metrics = Opm_obs.Metrics
+module Trace = Opm_obs.Trace
+
+(* observability instruments (no-ops unless metrics are enabled) *)
+let m_accepted = Metrics.counter "adaptive.steps.accepted"
+let m_rejected = Metrics.counter "adaptive.steps.rejected"
+let m_halved = Metrics.counter "adaptive.steps.halved"
 
 type stats = {
   accepted : int;
@@ -23,6 +30,7 @@ let max_non_finite_retries = 3
 
 let solve ?(tol = 1e-4) ?health ?h_init ?h_min ?h_max ~t_end
     (sys : Descriptor.t) sources =
+  Trace.with_span "adaptive.solve" @@ fun () ->
   if t_end <= 0.0 then invalid_arg "Adaptive.solve: t_end <= 0";
   let n = Descriptor.order sys in
   let p = Descriptor.input_count sys in
@@ -100,6 +108,7 @@ let solve ?(tol = 1e-4) ?health ?h_init ?h_min ?h_max ~t_end
          grid — halve the step — a bounded number of times, then give
          up with a structured error instead of propagating garbage *)
       incr nf_retries;
+      Metrics.incr m_halved;
       if !nf_retries > max_non_finite_retries then begin
         let worst =
           List.find (fun v -> not (Guard.is_finite v))
@@ -159,6 +168,8 @@ let solve ?(tol = 1e-4) ?health ?h_init ?h_min ?h_max ~t_end
       end
     end
   done;
+  Metrics.incr ~by:!accepted m_accepted;
+  Metrics.incr ~by:!rejected m_rejected;
   let steps = Array.of_list (List.rev !steps) in
   let cols = Array.of_list (List.rev !cols) in
   let m = Array.length steps in

@@ -1,6 +1,20 @@
 open Opm_numkit
 open Opm_sparse
 open Opm_robust
+module Metrics = Opm_obs.Metrics
+module Trace = Opm_obs.Trace
+
+(* observability instruments (no-ops unless metrics/tracing are enabled):
+   per-column wall time, column count, and one counter per rung of the
+   fallback cascade — the machine-readable shadow of the Health events *)
+let m_columns = Metrics.counter "engine.columns"
+let m_refine_attempted = Metrics.counter "engine.refine.attempted"
+let m_refine_kept = Metrics.counter "engine.refine.kept"
+let m_strict_refactor = Metrics.counter "engine.strict_refactor"
+let m_dense_fallback = Metrics.counter "engine.dense_fallback"
+(* mean per-column wall time, sampled once per 8-column batch: a clock
+   read per column would by itself eat the < 2% overhead budget *)
+let h_column_seconds = Metrics.histogram "engine.column_seconds"
 
 let check_terms_dims ~n ~m terms a_rows a_cols =
   if a_rows <> n || a_cols <> n then
@@ -60,6 +74,8 @@ let residual_of ax rhs =
    residual, so this is a bit-identical no-op whenever the trigger fires
    spuriously. Returns the column and its residual. *)
 let refine_column ?health ~column ~solve ~apply x rhs =
+  Metrics.incr m_refine_attempted;
+  Trace.with_span "refine" @@ fun () ->
   let n = Array.length rhs in
   let ax = apply x in
   let res0 = residual_of ax rhs in
@@ -77,7 +93,11 @@ let refine_column ?health ~column ~solve ~apply x rhs =
       record_event health
         (Health.Refined
            { column; residual_before = res0; residual_after = res1; kept });
-      if kept then (x', res1) else (x, res0)
+      if kept then begin
+        Metrics.incr m_refine_kept;
+        (x', res1)
+      end
+      else (x, res0)
 
 let raise_non_finite ~stage ~column x =
   let nans, infs = Guard.count_non_finite x in
@@ -150,6 +170,7 @@ let sparse_cond blk =
 
 (* escalation rung 3: abandon the sparse factorisation entirely *)
 let dense_fallback_factor ?health ~column smat =
+  Metrics.incr m_dense_fallback;
   record_event health (Health.Dense_fallback { column });
   match Lu.factor (Csr.to_dense smat) with
   | lu -> Dfac lu
@@ -159,6 +180,7 @@ let dense_fallback_factor ?health ~column smat =
 
 (* escalation rung 2: trade fill for stability with strict pivoting *)
 let strict_factor ?health ~column smat =
+  Metrics.incr m_strict_refactor;
   record_event health (Health.Strict_refactor { column });
   match Slu.factor ~pivot_tol:1.0 smat with
   | f -> Sfac f
@@ -200,6 +222,7 @@ let solve_col_sparse ?health ~cond_limit ~column blk rhs =
 
 let solve_dense ?health ?(cond_limit = Health.default_cond_limit) ~terms ~a ~bu
     () =
+  Trace.with_span "engine.solve_dense" @@ fun () ->
   let n, m = Mat.dims bu in
   check_terms_dims ~n ~m
     (List.map (fun (e, d) -> (Mat.dims e, Mat.dims d)) terms)
@@ -208,6 +231,8 @@ let solve_dense ?health ?(cond_limit = Health.default_cond_limit) ~terms ~a ~bu
   let apply_e k v = Mat.mul_vec (List.nth term_mats k) v in
   let cols = Array.make m [||] in
   let cache : (float list * dense_block) option ref = ref None in
+  Metrics.incr ~by:m m_columns;
+  let t_lap = ref (Metrics.lap_start ()) in
   for i = 0 to m - 1 do
     let rhs = column_rhs ~n ~bu ~terms ~apply_e ~cols i in
     let key = diag_key terms i in
@@ -220,11 +245,13 @@ let solve_dense ?health ?(cond_limit = Health.default_cond_limit) ~terms ~a ~bu
               (fun acc (e, _) dii -> Mat.add acc (Mat.scale dii e))
               (Mat.scale (-1.0) a) terms key
           in
-          let b = dense_block ~column:i mat in
+          let b = Trace.with_span "factor" (fun () -> dense_block ~column:i mat) in
           cache := Some (key, b);
           b
     in
-    cols.(i) <- solve_col_dense ?health ~cond_limit ~column:i blk rhs
+    cols.(i) <- solve_col_dense ?health ~cond_limit ~column:i blk rhs;
+    if i land 7 = 7 then
+      t_lap := Metrics.lap_mean h_column_seconds 8 !t_lap
   done;
   let x = Mat.zeros n m in
   Array.iteri (fun i col -> Mat.set_col x i col) cols;
@@ -232,6 +259,7 @@ let solve_dense ?health ?(cond_limit = Health.default_cond_limit) ~terms ~a ~bu
 
 let solve_sparse ?health ?(cond_limit = Health.default_cond_limit) ~terms ~a
     ~bu () =
+  Trace.with_span "engine.solve_sparse" @@ fun () ->
   let n, m = Mat.dims bu in
   check_terms_dims ~n ~m
     (List.map (fun (e, d) -> (Csr.dims e, Mat.dims d)) terms)
@@ -240,6 +268,8 @@ let solve_sparse ?health ?(cond_limit = Health.default_cond_limit) ~terms ~a
   let apply_e k v = Csr.mul_vec (List.nth term_mats k) v in
   let cols = Array.make m [||] in
   let cache : (float list * sparse_block) option ref = ref None in
+  Metrics.incr ~by:m m_columns;
+  let t_lap = ref (Metrics.lap_start ()) in
   for i = 0 to m - 1 do
     let rhs = column_rhs ~n ~bu ~terms ~apply_e ~cols i in
     let key = diag_key terms i in
@@ -252,11 +282,15 @@ let solve_sparse ?health ?(cond_limit = Health.default_cond_limit) ~terms ~a
               (fun acc (e, _) dii -> Csr.add ~alpha:1.0 ~beta:dii acc e)
               (Csr.scale (-1.0) a) terms key
           in
-          let b = sparse_block ?health ~column:i mat in
+          let b =
+            Trace.with_span "factor" (fun () -> sparse_block ?health ~column:i mat)
+          in
           cache := Some (key, b);
           b
     in
-    cols.(i) <- solve_col_sparse ?health ~cond_limit ~column:i blk rhs
+    cols.(i) <- solve_col_sparse ?health ~cond_limit ~column:i blk rhs;
+    if i land 7 = 7 then
+      t_lap := Metrics.lap_mean h_column_seconds 8 !t_lap
   done;
   let x = Mat.zeros n m in
   Array.iteri (fun i col -> Mat.set_col x i col) cols;
@@ -270,6 +304,8 @@ let solve_linear ~steps ~apply_e ~solve_col ~bu =
     invalid_arg "Engine.solve_linear: step count mismatch";
   let x = Mat.zeros n m in
   let salt = Array.make n 0.0 in
+  Metrics.incr ~by:m m_columns;
+  let t_lap = ref (Metrics.lap_start ()) in
   for i = 0 to m - 1 do
     let h = steps.(i) in
     let rhs = Array.init n (fun r -> Mat.get bu r i) in
@@ -278,7 +314,9 @@ let solve_linear ~steps ~apply_e ~solve_col ~bu =
     Vec.axpy (-4.0 /. h *. sign) coupling rhs;
     let xi = solve_col h ~column:i rhs in
     Mat.set_col x i xi;
-    Vec.axpy sign xi salt
+    Vec.axpy sign xi salt;
+    if i land 7 = 7 then
+      t_lap := Metrics.lap_mean h_column_seconds 8 !t_lap
   done;
   x
 
@@ -325,11 +363,13 @@ end
 
 let solve_linear_dense ?health ?(cond_limit = Health.default_cond_limit)
     ~steps ~e ~a ~bu () =
+  Trace.with_span "engine.solve_linear_dense" @@ fun () ->
   let cache = Factor_cache.create () in
   let solve_col h ~column rhs =
     let blk =
       Factor_cache.find_or_add cache h (fun h ->
-          dense_block ~column (Mat.sub (Mat.scale (2.0 /. h) e) a))
+          Trace.with_span "factor" (fun () ->
+              dense_block ~column (Mat.sub (Mat.scale (2.0 /. h) e) a)))
     in
     solve_col_dense ?health ~cond_limit ~column blk rhs
   in
@@ -337,12 +377,14 @@ let solve_linear_dense ?health ?(cond_limit = Health.default_cond_limit)
 
 let solve_linear_sparse ?health ?(cond_limit = Health.default_cond_limit)
     ~steps ~e ~a ~bu () =
+  Trace.with_span "engine.solve_linear_sparse" @@ fun () ->
   let cache = Factor_cache.create () in
   let solve_col h ~column rhs =
     let blk =
       Factor_cache.find_or_add cache h (fun h ->
-          sparse_block ?health ~column
-            (Csr.add ~alpha:(2.0 /. h) ~beta:(-1.0) e a))
+          Trace.with_span "factor" (fun () ->
+              sparse_block ?health ~column
+                (Csr.add ~alpha:(2.0 /. h) ~beta:(-1.0) e a)))
     in
     solve_col_sparse ?health ~cond_limit ~column blk rhs
   in

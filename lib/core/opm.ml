@@ -1,6 +1,7 @@
 open Opm_numkit
 open Opm_sparse
 open Opm_basis
+module Trace = Opm_obs.Trace
 
 type backend = [ `Auto | `Dense | `Sparse ]
 
@@ -24,6 +25,7 @@ let pick_backend backend n =
   | `Auto -> if n > 64 then `Sparse else `Dense
 
 let bu_matrix ~grid (sys : Multi_term.t) sources =
+  Trace.with_span "opm.project_inputs" @@ fun () ->
   let p = Multi_term.input_count sys in
   if Array.length sources <> p then
     invalid_arg
@@ -43,6 +45,7 @@ let bu_matrix ~grid (sys : Multi_term.t) sources =
 let solve_multi_term_general ?health ~backend ~grid (sys : Multi_term.t) ~bu =
   let n = Multi_term.order sys in
   let dmats =
+    Trace.with_span "opm.operational_matrices" @@ fun () ->
     List.map
       (fun { Multi_term.coeff; alpha } ->
         (coeff, Block_pulse.fractional_differential_matrix grid alpha))
@@ -60,6 +63,7 @@ let shift_by_x0 x x0 =
 
 let simulate_multi_term ?(backend = `Auto) ?health ?x0 ~grid
     (sys : Multi_term.t) sources =
+  Trace.with_span "opm.simulate" @@ fun () ->
   let n = Multi_term.order sys in
   let bu = bu_matrix ~grid sys sources in
   (* nonzero initial state by substitution z = x − x₀ (the Caputo

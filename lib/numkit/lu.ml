@@ -1,3 +1,11 @@
+module Metrics = Opm_obs.Metrics
+
+(* observability instruments (no-ops unless metrics are enabled) *)
+let m_factor = Metrics.counter "lu.factor"
+let m_solve = Metrics.counter "lu.solve"
+let h_factor_seconds = Metrics.histogram "lu.factor_seconds"
+let g_cond_est = Metrics.gauge "lu.cond_est"
+
 type t = {
   lu : Mat.t;
   piv : int array;
@@ -21,6 +29,8 @@ let mat_norm1 a =
   !best
 
 let factor a =
+  Metrics.incr m_factor;
+  Metrics.time h_factor_seconds @@ fun () ->
   let n, m = Mat.dims a in
   if n <> m then invalid_arg "Lu.factor: non-square matrix";
   let norm1 = mat_norm1 a in
@@ -58,6 +68,7 @@ let factor a =
   { lu; piv; sign = !sign; norm1; cond1 = None }
 
 let solve { lu; piv; _ } b =
+  Metrics.incr m_solve;
   let n, _ = Mat.dims lu in
   if Array.length b <> n then invalid_arg "Lu.solve: dimension mismatch";
   let x = Array.init n (fun i -> b.(piv.(i))) in
@@ -180,4 +191,5 @@ let cond_est f =
       in
       let c = f.norm1 *. inv in
       f.cond1 <- Some c;
+      Metrics.set_gauge g_cond_est c;
       c

@@ -1,0 +1,21 @@
+let schema_version = "opm-report-v1"
+
+let make ?health ?(run = []) () =
+  let trace =
+    let n = Trace.span_count () in
+    if n = 0 then Json.Obj [ ("spans", Json.Int 0) ]
+    else
+      Json.Obj
+        [
+          ("spans", Json.Int n);
+          ("profile", Json.String (Trace.to_profile_string ()));
+        ]
+  in
+  Json.Obj
+    [
+      ("schema", Json.String schema_version);
+      ("run", Json.Obj run);
+      ("metrics", Metrics.snapshot ());
+      ("trace", trace);
+      ("health", Option.value health ~default:Json.Null);
+    ]

@@ -1,0 +1,22 @@
+(** One merged JSON document per run: metrics snapshot, trace profile,
+    solver health, and caller-supplied run parameters.
+
+    [Report] sits at the top of the observability layer: {!Metrics} and
+    {!Trace} contribute their live state, the solver's
+    {i Opm_robust.Health} report arrives pre-serialised (as [Json.t],
+    via [Health.to_json] — the dependency points from [robust] to
+    [obs], not the other way), and the caller adds whatever identifies
+    the run (command line, model sizes, method names). *)
+
+val schema_version : string
+(** ["opm-report-v1"] — the value of the document's ["schema"] field. *)
+
+val make :
+  ?health:Json.t ->
+  ?run:(string * Json.t) list ->
+  unit ->
+  Json.t
+(** [{"schema": "opm-report-v1", "run": {…}, "metrics": {…},
+     "trace": {"spans": n, "profile": "…"}, "health": {…} | null}].
+    The metrics snapshot is taken at call time; the trace profile is
+    included only when spans were recorded. *)

@@ -20,6 +20,15 @@
    [domains = 1] is a strict serial fallback: no workers are spawned and
    jobs run inline on the caller. *)
 
+module Metrics = Opm_obs.Metrics
+
+(* observability instruments (no-ops unless metrics are enabled) *)
+let m_jobs = Metrics.counter "pool.jobs"
+let m_inline_jobs = Metrics.counter "pool.inline_jobs"
+let m_chunks = Metrics.counter "pool.chunks"
+let h_chunk_seconds = Metrics.histogram "pool.chunk_seconds"
+let h_job_wait_seconds = Metrics.histogram "pool.job_wait_seconds"
+
 type job = { run : int -> unit; n_chunks : int }
 
 type t = {
@@ -64,7 +73,8 @@ let run_chunks t =
       Mutex.unlock t.mutex;
       let saved = Domain.DLS.get inside_job in
       Domain.DLS.set inside_job true;
-      (try job.run chunk
+      Metrics.incr m_chunks;
+      (try Metrics.time h_chunk_seconds (fun () -> job.run chunk)
        with e -> record_error t chunk e (Printexc.get_raw_backtrace ()));
       Domain.DLS.set inside_job saved;
       Mutex.lock t.mutex;
@@ -166,20 +176,24 @@ let shutdown t =
    called from inside one of its own jobs. *)
 let run_job t ~n_chunks run =
   if n_chunks <= 0 then ()
-  else if Array.length t.workers = 0 || Domain.DLS.get inside_job then
+  else if Array.length t.workers = 0 || Domain.DLS.get inside_job then begin
+    Metrics.incr m_inline_jobs;
     for chunk = 0 to n_chunks - 1 do
       run chunk
     done
+  end
   else begin
     Mutex.lock t.mutex;
     if t.job <> None then begin
       (* another submitter's job is in flight: run inline *)
       Mutex.unlock t.mutex;
+      Metrics.incr m_inline_jobs;
       for chunk = 0 to n_chunks - 1 do
         run chunk
       done
     end
     else begin
+      Metrics.incr m_jobs;
       t.job <- Some { run; n_chunks };
       t.next_chunk <- 0;
       t.done_chunks <- 0;
@@ -188,9 +202,12 @@ let run_job t ~n_chunks run =
       Condition.broadcast t.work;
       run_chunks t (* releases the mutex *);
       Mutex.lock t.mutex;
-      while t.done_chunks < n_chunks do
-        Condition.wait t.finished t.mutex
-      done;
+      (* submitter idle time: blocked on workers after finishing its own
+         share of the chunks *)
+      Metrics.time h_job_wait_seconds (fun () ->
+          while t.done_chunks < n_chunks do
+            Condition.wait t.finished t.mutex
+          done);
       t.job <- None;
       let err = t.error in
       t.error <- None;

@@ -85,6 +85,48 @@ let warnings ?(cond_limit = default_cond_limit) t =
       (List.length t.rev_events);
   List.rev !w
 
+let event_to_json e =
+  let open Opm_obs in
+  match e with
+  | Refined { column; residual_before; residual_after; kept } ->
+      Json.Obj
+        [
+          ("kind", Json.String "refined");
+          ("column", Json.Int column);
+          ("residual_before", Json.Float residual_before);
+          ("residual_after", Json.Float residual_after);
+          ("kept", Json.Bool kept);
+        ]
+  | Strict_refactor { column } ->
+      Json.Obj
+        [ ("kind", Json.String "strict_refactor"); ("column", Json.Int column) ]
+  | Dense_fallback { column } ->
+      Json.Obj
+        [ ("kind", Json.String "dense_fallback"); ("column", Json.Int column) ]
+  | Step_halved { t; h; retry } ->
+      Json.Obj
+        [
+          ("kind", Json.String "step_halved");
+          ("t", Json.Float t);
+          ("h", Json.Float h);
+          ("retry", Json.Int retry);
+        ]
+
+let to_json ?cond_limit t =
+  let open Opm_obs in
+  Json.Obj
+    [
+      ("columns", Json.Int t.columns);
+      ("nans", Json.Int t.nans);
+      ("infs", Json.Int t.infs);
+      ("max_residual", Json.Float t.max_residual);
+      ("worst_cond", Json.Float t.worst_cond);
+      ("events", Json.List (List.map event_to_json (events t)));
+      ( "warnings",
+        Json.List (List.map (fun w -> Json.String w) (warnings ?cond_limit t))
+      );
+    ]
+
 let to_string ?cond_limit t =
   let b = Buffer.create 256 in
   let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in

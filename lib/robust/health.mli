@@ -72,3 +72,9 @@ val warnings : ?cond_limit:float -> t -> string list
 val to_string : ?cond_limit:float -> t -> string
 (** Multi-line report: counters first, then fallback events, then
     warnings (or ["status: ok"]). *)
+
+val to_json : ?cond_limit:float -> t -> Opm_obs.Json.t
+(** The same report as a JSON object
+    [{columns, nans, infs, max_residual, worst_cond, events, warnings}]
+    — the ["health"] block of an {i Opm_obs.Report} document. A clean
+    run has empty [events] and [warnings]. *)

@@ -1,4 +1,12 @@
 open Opm_numkit
+module Metrics = Opm_obs.Metrics
+
+(* observability instruments (no-ops unless metrics are enabled) *)
+let m_factor = Metrics.counter "slu.factor"
+let m_solve = Metrics.counter "slu.solve"
+let h_factor_seconds = Metrics.histogram "slu.factor_seconds"
+let g_fill_nnz = Metrics.gauge "slu.fill_nnz"
+let g_cond_est = Metrics.gauge "slu.cond_est"
 
 exception Singular of int
 
@@ -171,6 +179,8 @@ let factor ?(ordering = `Rcm) ?(pivot_tol = 0.1) a =
   if not (pivot_tol > 0.0 && pivot_tol <= 1.0) then
     invalid_arg
       (Printf.sprintf "Slu.factor: pivot_tol %g outside (0, 1]" pivot_tol);
+  Metrics.incr m_factor;
+  Metrics.time h_factor_seconds @@ fun () ->
   let norm1 = csr_norm1 a in
   let f =
     match ordering with
@@ -180,6 +190,7 @@ let factor ?(ordering = `Rcm) ?(pivot_tol = 0.1) a =
         let a' = Rcm.permute_symmetric a p in
         factor_ordered ~pivot_tol a' (Some p)
   in
+  Metrics.set_gauge g_fill_nnz (float_of_int (nnz_factors f));
   { f with norm1 }
 
 let solve_inner f b =
@@ -215,6 +226,7 @@ let solve_inner f b =
   x
 
 let solve f b =
+  Metrics.incr m_solve;
   if Array.length b <> f.n then invalid_arg "Slu.solve: dimension mismatch";
   match f.sym with
   | None -> solve_inner f b
@@ -277,6 +289,7 @@ let cond_est f =
       in
       let c = f.norm1 *. inv in
       f.cond1 <- Some c;
+      Metrics.set_gauge g_cond_est c;
       c
 
 let solve_dense a b = solve (factor a) b

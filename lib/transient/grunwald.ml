@@ -2,6 +2,11 @@ open Opm_numkit
 open Opm_sparse
 open Opm_signal
 open Opm_core
+module Metrics = Opm_obs.Metrics
+module Trace = Opm_obs.Trace
+
+(* observability instruments (no-ops unless metrics are enabled) *)
+let m_steps = Metrics.counter "grunwald.steps"
 
 let weights ~alpha k =
   let w = Array.make (k + 1) 1.0 in
@@ -11,6 +16,7 @@ let weights ~alpha k =
   w
 
 let solve ?memory_length ~h ~alpha ~t_end (sys : Descriptor.t) sources =
+  Trace.with_span "grunwald.solve" @@ fun () ->
   if h <= 0.0 || t_end <= 0.0 then invalid_arg "Grunwald.solve: bad arguments";
   if Array.length sources <> Descriptor.input_count sys then
     invalid_arg "Grunwald.solve: source count mismatch";
@@ -19,6 +25,7 @@ let solve ?memory_length ~h ~alpha ~t_end (sys : Descriptor.t) sources =
   | Some _ | None -> ());
   let n = Descriptor.order sys in
   let steps = int_of_float (ceil ((t_end /. h) -. 1e-9)) in
+  Metrics.incr ~by:steps m_steps;
   let w = weights ~alpha steps in
   let ha = h ** -.alpha in
   let e = sys.Descriptor.e and a = sys.Descriptor.a in

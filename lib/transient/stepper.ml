@@ -2,6 +2,11 @@ open Opm_numkit
 open Opm_sparse
 open Opm_signal
 open Opm_core
+module Metrics = Opm_obs.Metrics
+module Trace = Opm_obs.Trace
+
+(* observability instruments (no-ops unless metrics are enabled) *)
+let m_steps = Metrics.counter "stepper.steps"
 
 type scheme = Backward_euler | Trapezoidal | Gear2
 
@@ -20,8 +25,10 @@ let eval_inputs sources t = Array.map (fun src -> Source.eval src t) sources
 
 (* advance with x(0) = 0; returns (times, states as columns) *)
 let run ~scheme ~h ~t_end (sys : Descriptor.t) sources =
+  Trace.with_span "stepper.run" @@ fun () ->
   let n = Descriptor.order sys in
   let steps = int_of_float (ceil ((t_end /. h) -. 1e-9)) in
+  Metrics.incr ~by:steps m_steps;
   let e = sys.Descriptor.e and a = sys.Descriptor.a in
   let b = sys.Descriptor.b in
   let bu t = Mat.mul_vec b (eval_inputs sources t) in
