@@ -10,6 +10,7 @@
      dune exec bench/main.exe -- ablation-kron
      dune exec bench/main.exe -- fft-sweep
      dune exec bench/main.exe -- parallel-sweep [--domains N]
+     dune exec bench/main.exe -- window-scaling
      dune exec bench/main.exe -- micro        # bechamel micro-benchmarks
 
    [--domains N] (any command) sets the domain-pool size, like
@@ -678,6 +679,83 @@ let obs_overhead () =
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per table                  *)
 
+(* ------------------------------------------------------------------ *)
+(* window-scaling — streaming driver telemetry: wall time and heap
+   footprint vs horizon length m at fixed relative window width w =
+   m/8, windowed (full tail and m/8-truncated) against the global
+   solve on the Table I fractional line. Emitted as BENCH_window.json
+   (opm-bench-v1; rows carry an extra heap_words peak-footprint proxy
+   sampled right after each run, following a pre-run Gc.compact).      *)
+
+let window_scaling () =
+  header "Window scaling — fractional t-line (α = 1/2, n = 7), w = m/8";
+  let sys = Tline.model () in
+  let srcs = Tline.inputs () in
+  let alpha = Tline.alpha and t_end = Tline.t_end in
+  let n = Descriptor.order sys in
+  let sizes = if !smoke_mode then [ 64; 128 ] else [ 256; 512; 1024 ] in
+  let runs = if !smoke_mode then 1 else 3 in
+  Printf.printf "%-24s %4s %6s %12s %10s %12s\n" "method" "n" "m" "wall"
+    "err_db" "heap_words";
+  rule ();
+  List.iter
+    (fun m ->
+      let grid = Grid.uniform ~t_end ~m in
+      let w = max 1 (m / 8) in
+      let measure f =
+        Gc.compact ();
+        let t, r = timed ~runs f in
+        (t, (Gc.stat ()).Gc.heap_words, r)
+      in
+      let t_g, heap_g, global =
+        measure (fun () -> Opm.simulate_fractional ~grid ~alpha sys srcs)
+      in
+      let err_db x =
+        let scale = Float.max (Mat.norm_inf global.Sim_result.x) 1e-300 in
+        let rel = Mat.max_abs_diff x global.Sim_result.x /. scale in
+        20.0 *. log10 (Float.max rel 1e-16)
+      in
+      let row method_ wall err heap =
+        Printf.printf "%-24s %4d %6d %12s %10.1f %12d\n" method_ n m
+          (pp_time wall) err heap;
+        if !json_mode then
+          json_rows :=
+            Json.Obj
+              [
+                ("method", Json.String method_);
+                ("n", Json.Int n);
+                ("m", Json.Int m);
+                ("wall_s", Json.Float wall);
+                ("error_db", Json.Float err);
+                ("heap_words", Json.Int heap);
+              ]
+            :: !json_rows
+      in
+      (* the global run is the reference: its error row is the floor *)
+      row "opm-global" t_g (-320.0) heap_g;
+      let t_w, heap_w, windowed =
+        measure (fun () ->
+            Opm.simulate_fractional ~window:w ~grid ~alpha sys srcs)
+      in
+      row
+        (Printf.sprintf "opm-window-w%d" w)
+        t_w
+        (err_db windowed.Sim_result.x)
+        heap_w;
+      let k = max 1 (m / 8) in
+      let t_k, heap_k, truncated =
+        measure (fun () ->
+            Opm.simulate_fractional ~window:w ~memory_len:k ~grid ~alpha sys
+              srcs)
+      in
+      row
+        (Printf.sprintf "opm-window-w%d-k%d" w k)
+        t_k
+        (err_db truncated.Sim_result.x)
+        heap_k)
+    sizes;
+  flush_json ~table:"window-scaling" ~default_file:"BENCH_window.json"
+
 let micro () =
   header "Bechamel micro-benchmarks (one per table)";
   let open Bechamel in
@@ -819,6 +897,7 @@ let () =
   | _ :: "fft-sweep" :: _ -> fft_sweep ()
   | _ :: "parallel-sweep" :: _ -> parallel_sweep ()
   | _ :: "obs-overhead" :: _ -> obs_overhead ()
+  | _ :: "window-scaling" :: _ -> window_scaling ()
   | _ :: "micro" :: _ -> micro ()
   | _ :: [] | _ :: "all" :: _ ->
       table1 ();
@@ -830,12 +909,13 @@ let () =
       fft_sweep ();
       parallel_sweep ();
       obs_overhead ();
+      window_scaling ();
       micro ()
   | _ :: cmd :: _ ->
       Printf.eprintf
         "unknown command %s (try table1, table2, ablation-basis, \
          ablation-adaptive, ablation-kron, convergence, fft-sweep, \
-         parallel-sweep, obs-overhead, micro, all)\n"
+         parallel-sweep, obs-overhead, window-scaling, micro, all)\n"
         cmd;
       exit 1
   | [] -> assert false

@@ -94,6 +94,26 @@ let tol_arg =
   let doc = "Local error tolerance for opm-adaptive." in
   Arg.(value & opt float 1e-4 & info [ "tol" ] ~doc)
 
+let window_arg =
+  let doc =
+    "Windowed streaming for the opm method: split the horizon into \
+     windows of $(docv) steps, solved in sequence with one shared pencil \
+     factorisation and state handoff across boundaries. Exact for \
+     integer orders; fractional orders carry a history tail (see \
+     $(b,--memory-len)). $(docv) ≥ the step count runs the ordinary \
+     global solve."
+  in
+  Arg.(value & opt (some int) None & info [ "window" ] ~docv:"W" ~doc)
+
+let memory_len_arg =
+  let doc =
+    "With $(b,--window): truncate the fractional history tail to the \
+     last $(docv) steps (the short-memory principle; the error is \
+     bounded by the discarded ρ-series mass). Default: full tail — \
+     exact. Integer-order history is always carried exactly."
+  in
+  Arg.(value & opt (some int) None & info [ "memory-len" ] ~docv:"K" ~doc)
+
 let fstart_arg =
   let doc = "AC sweep start frequency (Hz)." in
   Arg.(value & opt float 1.0 & info [ "fstart" ] ~doc)
@@ -167,19 +187,25 @@ let with_state_names names f =
     Opm_error.raise_
       (Opm_error.Singular_pencil { r with name = Some names.(step) })
 
-let run_tran ?health net outputs t_end steps method_ tol =
+let run_tran ?health ?window ?memory_len net outputs t_end steps method_ tol =
   let t_end =
     match t_end with
     | Some t -> t
     | None -> failwith "transient analysis needs --tend"
   in
+  (match (window, method_) with
+  | Some _, (Be | Trap | Gear | Fft | Gl | Exact | Opm_adaptive) ->
+      Printf.eprintf
+        "opm_sim: warning: --window only applies to the opm method; ignored\n%!"
+  | _ -> ());
   let waveform =
     match method_ with
     | Opm_method ->
         let mt, srcs = Mna.stamp ?outputs net in
         let grid = Grid.uniform ~t_end ~m:steps in
         with_state_names mt.Multi_term.state_names (fun () ->
-            (Opm.simulate_multi_term ?health ~grid mt srcs).Sim_result.outputs)
+            (Opm.simulate_multi_term ?health ?window ?memory_len ~grid mt srcs)
+              .Sim_result.outputs)
     | Opm_adaptive ->
         let sys, srcs = Mna.stamp_linear ?outputs net in
         let result, stats =
@@ -322,8 +348,8 @@ let emit_observability ~metrics ~trace ~report ~run_params health =
         (Opm_obs.Report.make ?health ~run:run_params ())
   | None -> ()
 
-let run netlist_path mode t_end steps method_ probes tol fstart fstop points
-    domains check strict metrics trace report =
+let run netlist_path mode t_end steps method_ probes tol window memory_len
+    fstart fstop points domains check strict metrics trace report =
   try
     (match domains with
     | Some d when d >= 1 -> Opm_parallel.Pool.set_default_domains d
@@ -345,7 +371,7 @@ let run netlist_path mode t_end steps method_ probes tol fstart fstop points
       else None
     in
     (match mode with
-    | Tran -> run_tran ?health net outputs t_end steps method_ tol
+    | Tran -> run_tran ?health ?window ?memory_len net outputs t_end steps method_ tol
     | Ac_mode -> run_ac net outputs fstart fstop points
     | Dc_mode -> run_dc net outputs
     | Poles_mode -> run_poles net);
@@ -393,9 +419,9 @@ let cmd =
   Cmd.v info
     Term.(
       const run $ netlist_arg $ mode_arg $ t_end_arg $ steps_arg $ method_arg
-      $ probes_arg $ tol_arg $ fstart_arg $ fstop_arg $ points_arg
-      $ domains_arg $ check_arg $ strict_arg $ metrics_arg $ trace_arg
-      $ report_arg)
+      $ probes_arg $ tol_arg $ window_arg $ memory_len_arg $ fstart_arg
+      $ fstop_arg $ points_arg $ domains_arg $ check_arg $ strict_arg
+      $ metrics_arg $ trace_arg $ report_arg)
 
 let () =
   Logs.set_reporter (Logs.format_reporter ());

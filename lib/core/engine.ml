@@ -29,6 +29,78 @@ let diag_key terms i = List.map (fun (_, d) -> Mat.get d i i) terms
 
 let same_key a b = List.for_all2 (fun (x : float) y -> x = y) a b
 
+(* Bounded key → factorisation cache. An assoc list keyed on the exact
+   float step is pathological on fully-adaptive grids: every column
+   misses, so each lookup scans the whole list (O(m²) total) and the
+   list grows without bound. A hashtable gives O(1) lookups and a
+   capacity cap bounds the memory; on overflow the cache is reset —
+   adaptive grids that miss every time pay exactly one factorisation
+   per column either way, while uniform and few-distinct-step grids
+   stay fully cached.
+
+   The key is polymorphic. A cache confined to one solve call may key
+   on whatever distinguishes the diagonal blocks there (the float step,
+   the diagonal coefficients). A cache *shared across solves* — the
+   windowed streaming driver, or any process mixing differentiation
+   orders on one grid — must key on the full (α₁…α_K, h) identity of
+   the pencil, not just the diagonal coefficients: (2/h)^α collides for
+   different (α, h) pairs (at h = 2 it is 1.0 for every α), so a
+   diagonal-only key would silently reuse the wrong factorisation.
+   {!solve_dense}/{!solve_sparse} take that salt via [?key_salt]. *)
+module Factor_cache = struct
+  type ('k, 'f) t = {
+    capacity : int;
+    table : ('k, 'f) Hashtbl.t;
+    mutable hits : int;
+    mutable misses : int;
+  }
+
+  let default_capacity = 64
+
+  let create ?(capacity = default_capacity) () =
+    if capacity < 1 then invalid_arg "Engine.Factor_cache.create: capacity < 1";
+    { capacity; table = Hashtbl.create capacity; hits = 0; misses = 0 }
+
+  let length c = Hashtbl.length c.table
+
+  let hits c = c.hits
+
+  let misses c = c.misses
+
+  let find_or_add c h factor =
+    match Hashtbl.find_opt c.table h with
+    | Some f ->
+        c.hits <- c.hits + 1;
+        f
+    | None ->
+        c.misses <- c.misses + 1;
+        let f = factor h in
+        if Hashtbl.length c.table >= c.capacity then Hashtbl.reset c.table;
+        Hashtbl.add c.table h f;
+        f
+end
+
+(* Diagonal-block lookup shared by {!solve_dense}/{!solve_sparse}: a
+   caller-supplied cross-call cache (salted, see {!Factor_cache}) when
+   given, else the per-call single-entry cache — consecutive columns of
+   one solve share the diagonal coefficients on uniform grids, so one
+   entry already captures the within-call reuse. *)
+let block_lookup ~fcache ~key_salt ~build =
+  match fcache with
+  | Some fc ->
+      fun ~column key ->
+        Factor_cache.find_or_add fc (key_salt @ key) (fun _ ->
+            build ~column key)
+  | None ->
+      let cache = ref None in
+      fun ~column key ->
+        (match !cache with
+        | Some (k, b) when same_key k key -> b
+        | _ ->
+            let b = build ~column key in
+            cache := Some (key, b);
+            b)
+
 (* Accumulate rhs_i = bu_i − Σ_k E_k (Σ_{j<i} d^{(k)}_{ji} x_j), with
    [apply_e] abstracting dense/sparse E_k·v. *)
 let column_rhs ~n ~bu ~terms ~apply_e ~cols i =
@@ -220,8 +292,8 @@ let solve_col_sparse ?health ~cond_limit ~column blk rhs =
 
 (* ------------------------------------------------------------------ *)
 
-let solve_dense ?health ?(cond_limit = Health.default_cond_limit) ~terms ~a ~bu
-    () =
+let solve_dense ?health ?(cond_limit = Health.default_cond_limit) ?fcache
+    ?(key_salt = []) ~terms ~a ~bu () =
   Trace.with_span "engine.solve_dense" @@ fun () ->
   let n, m = Mat.dims bu in
   check_terms_dims ~n ~m
@@ -230,25 +302,20 @@ let solve_dense ?health ?(cond_limit = Health.default_cond_limit) ~terms ~a ~bu
   let term_mats = List.map fst terms in
   let apply_e k v = Mat.mul_vec (List.nth term_mats k) v in
   let cols = Array.make m [||] in
-  let cache : (float list * dense_block) option ref = ref None in
+  let build ~column key =
+    let mat =
+      List.fold_left2
+        (fun acc (e, _) dii -> Mat.add acc (Mat.scale dii e))
+        (Mat.scale (-1.0) a) terms key
+    in
+    Trace.with_span "factor" (fun () -> dense_block ~column mat)
+  in
+  let lookup = block_lookup ~fcache ~key_salt ~build in
   Metrics.incr ~by:m m_columns;
   let t_lap = ref (Metrics.lap_start ()) in
   for i = 0 to m - 1 do
     let rhs = column_rhs ~n ~bu ~terms ~apply_e ~cols i in
-    let key = diag_key terms i in
-    let blk =
-      match !cache with
-      | Some (k, b) when same_key k key -> b
-      | _ ->
-          let mat =
-            List.fold_left2
-              (fun acc (e, _) dii -> Mat.add acc (Mat.scale dii e))
-              (Mat.scale (-1.0) a) terms key
-          in
-          let b = Trace.with_span "factor" (fun () -> dense_block ~column:i mat) in
-          cache := Some (key, b);
-          b
-    in
+    let blk = lookup ~column:i (diag_key terms i) in
     cols.(i) <- solve_col_dense ?health ~cond_limit ~column:i blk rhs;
     if i land 7 = 7 then
       t_lap := Metrics.lap_mean h_column_seconds 8 !t_lap
@@ -257,8 +324,8 @@ let solve_dense ?health ?(cond_limit = Health.default_cond_limit) ~terms ~a ~bu
   Array.iteri (fun i col -> Mat.set_col x i col) cols;
   x
 
-let solve_sparse ?health ?(cond_limit = Health.default_cond_limit) ~terms ~a
-    ~bu () =
+let solve_sparse ?health ?(cond_limit = Health.default_cond_limit) ?fcache
+    ?(key_salt = []) ~terms ~a ~bu () =
   Trace.with_span "engine.solve_sparse" @@ fun () ->
   let n, m = Mat.dims bu in
   check_terms_dims ~n ~m
@@ -267,27 +334,20 @@ let solve_sparse ?health ?(cond_limit = Health.default_cond_limit) ~terms ~a
   let term_mats = List.map fst terms in
   let apply_e k v = Csr.mul_vec (List.nth term_mats k) v in
   let cols = Array.make m [||] in
-  let cache : (float list * sparse_block) option ref = ref None in
+  let build ~column key =
+    let mat =
+      List.fold_left2
+        (fun acc (e, _) dii -> Csr.add ~alpha:1.0 ~beta:dii acc e)
+        (Csr.scale (-1.0) a) terms key
+    in
+    Trace.with_span "factor" (fun () -> sparse_block ?health ~column mat)
+  in
+  let lookup = block_lookup ~fcache ~key_salt ~build in
   Metrics.incr ~by:m m_columns;
   let t_lap = ref (Metrics.lap_start ()) in
   for i = 0 to m - 1 do
     let rhs = column_rhs ~n ~bu ~terms ~apply_e ~cols i in
-    let key = diag_key terms i in
-    let blk =
-      match !cache with
-      | Some (k, b) when same_key k key -> b
-      | _ ->
-          let mat =
-            List.fold_left2
-              (fun acc (e, _) dii -> Csr.add ~alpha:1.0 ~beta:dii acc e)
-              (Csr.scale (-1.0) a) terms key
-          in
-          let b =
-            Trace.with_span "factor" (fun () -> sparse_block ?health ~column:i mat)
-          in
-          cache := Some (key, b);
-          b
-    in
+    let blk = lookup ~column:i (diag_key terms i) in
     cols.(i) <- solve_col_sparse ?health ~cond_limit ~column:i blk rhs;
     if i land 7 = 7 then
       t_lap := Metrics.lap_mean h_column_seconds 8 !t_lap
@@ -320,54 +380,23 @@ let solve_linear ~steps ~apply_e ~solve_col ~bu =
   done;
   x
 
-(* Bounded step-size → factorisation cache. An assoc list keyed on the
-   exact float step is pathological on fully-adaptive grids: every
-   column misses, so each lookup scans the whole list (O(m²) total) and
-   the list grows without bound. A hashtable gives O(1) lookups and a
-   capacity cap bounds the memory; on overflow the cache is reset —
-   adaptive grids that miss every time pay exactly one factorisation
-   per column either way, while uniform and few-distinct-step grids
-   stay fully cached. *)
-module Factor_cache = struct
-  type 'f t = {
-    capacity : int;
-    table : (float, 'f) Hashtbl.t;
-    mutable hits : int;
-    mutable misses : int;
-  }
-
-  let default_capacity = 64
-
-  let create ?(capacity = default_capacity) () =
-    if capacity < 1 then invalid_arg "Engine.Factor_cache.create: capacity < 1";
-    { capacity; table = Hashtbl.create capacity; hits = 0; misses = 0 }
-
-  let length c = Hashtbl.length c.table
-
-  let hits c = c.hits
-
-  let misses c = c.misses
-
-  let find_or_add c h factor =
-    match Hashtbl.find_opt c.table h with
-    | Some f ->
-        c.hits <- c.hits + 1;
-        f
-    | None ->
-        c.misses <- c.misses + 1;
-        let f = factor h in
-        if Hashtbl.length c.table >= c.capacity then Hashtbl.reset c.table;
-        Hashtbl.add c.table h f;
-        f
-end
+let linear_cache_key ?(key_salt = []) h =
+  (* the order-1 fast paths solve (2/h·E − A): α is pinned to 1, but the
+     key carries it anyway so a cache shared with other pencils (the
+     windowed driver, multi-order processes on one grid) can never
+     collide on a coincidental (α, h) pair — e.g. at h = 2 the diagonal
+     coefficient (2/h)^α is 1 for every α *)
+  key_salt @ [ 1.0; h ]
 
 let solve_linear_dense ?health ?(cond_limit = Health.default_cond_limit)
-    ~steps ~e ~a ~bu () =
+    ?fcache ~steps ~e ~a ~bu () =
   Trace.with_span "engine.solve_linear_dense" @@ fun () ->
-  let cache = Factor_cache.create () in
+  let cache =
+    match fcache with Some c -> c | None -> Factor_cache.create ()
+  in
   let solve_col h ~column rhs =
     let blk =
-      Factor_cache.find_or_add cache h (fun h ->
+      Factor_cache.find_or_add cache (linear_cache_key h) (fun _ ->
           Trace.with_span "factor" (fun () ->
               dense_block ~column (Mat.sub (Mat.scale (2.0 /. h) e) a)))
     in
@@ -376,12 +405,14 @@ let solve_linear_dense ?health ?(cond_limit = Health.default_cond_limit)
   solve_linear ~steps ~apply_e:(Mat.mul_vec e) ~solve_col ~bu
 
 let solve_linear_sparse ?health ?(cond_limit = Health.default_cond_limit)
-    ~steps ~e ~a ~bu () =
+    ?fcache ~steps ~e ~a ~bu () =
   Trace.with_span "engine.solve_linear_sparse" @@ fun () ->
-  let cache = Factor_cache.create () in
+  let cache =
+    match fcache with Some c -> c | None -> Factor_cache.create ()
+  in
   let solve_col h ~column rhs =
     let blk =
-      Factor_cache.find_or_add cache h (fun h ->
+      Factor_cache.find_or_add cache (linear_cache_key h) (fun _ ->
           Trace.with_span "factor" (fun () ->
               sparse_block ?health ~column
                 (Csr.add ~alpha:(2.0 /. h) ~beta:(-1.0) e a)))

@@ -40,9 +40,59 @@ open Opm_robust
     estimate, and the fallback events taken — collection never changes
     the result. *)
 
+type dense_block
+(** A factorised diagonal block of the dense backend (pencil matrix +
+    its LU). *)
+
+type sparse_block
+(** A factorised diagonal block of the sparse backend; mutable so the
+    fallback cascade can upgrade the factorisation in place. *)
+
+(** Bounded factorisation cache keyed by an arbitrary hashable key
+    ([float] step for the order-1 fast paths, salted
+    [float list] diagonal-coefficient keys for cross-call sharing). A
+    hashtable keyed on the exact key gives O(1) lookups (the former
+    assoc list scanned linearly — O(m²) over a fully-adaptive grid —
+    and grew without bound); when [capacity] distinct keys are exceeded
+    the cache resets, bounding memory while keeping uniform and
+    few-distinct-step grids fully cached.
+
+    {b Key discipline.} A cache shared across solve calls must be keyed
+    on the full [(α₁…α_K, h)] identity of the pencil, not just the
+    diagonal coefficients: [(2/h)^α] coincides for different [(α, h)]
+    pairs (at [h = 2] it is [1.0] for {e every} α), so a diagonal-only
+    key silently reuses the wrong factorisation when a process mixes
+    differentiation orders on one grid. {!solve_dense}/{!solve_sparse}
+    prepend the caller's [?key_salt] (the term orders and the step, see
+    {!Opm_core.Window}) to every lookup; the order-1 fast paths key on
+    [[1.0; h]] — α pinned by construction, but carried in the key so a
+    shared cache stays collision-free. *)
+module Factor_cache : sig
+  type ('k, 'f) t
+
+  val default_capacity : int
+  (** 64. *)
+
+  val create : ?capacity:int -> unit -> ('k, 'f) t
+  (** Raises [Invalid_argument] if [capacity < 1]. *)
+
+  val find_or_add : ('k, 'f) t -> 'k -> ('k -> 'f) -> 'f
+  (** [find_or_add c k factor] returns the cached factorisation for key
+      [k], calling [factor k] (and evicting on overflow) on a miss. *)
+
+  val length : ('k, 'f) t -> int
+  (** Currently cached entries; always [<= capacity]. *)
+
+  val hits : ('k, 'f) t -> int
+
+  val misses : ('k, 'f) t -> int
+end
+
 val solve_dense :
   ?health:Health.t ->
   ?cond_limit:float ->
+  ?fcache:(float list, dense_block) Factor_cache.t ->
+  ?key_salt:float list ->
   terms:(Mat.t * Mat.t) list ->
   a:Mat.t ->
   bu:Mat.t ->
@@ -50,11 +100,20 @@ val solve_dense :
   Mat.t
 (** [terms] are [(E_k, D_k)] pairs. Raises [Invalid_argument] on
     dimension mismatches, {!Opm_error.Error} if a diagonal block is
-    singular or a column stays non-finite. *)
+    singular or a column stays non-finite.
+
+    [?fcache] substitutes a caller-owned cross-call cache for the
+    per-call one, so repeated solves against the same pencil (the
+    windowed streaming driver) factorise once; lookups are keyed
+    [key_salt @ diagonal coefficients] — pass the term orders and step
+    in [key_salt] whenever the cache outlives one call (see
+    {!Factor_cache}). *)
 
 val solve_sparse :
   ?health:Health.t ->
   ?cond_limit:float ->
+  ?fcache:(float list, sparse_block) Factor_cache.t ->
+  ?key_salt:float list ->
   terms:(Csr.t * Mat.t) list ->
   a:Csr.t ->
   bu:Mat.t ->
@@ -72,6 +131,7 @@ val solve_dense_kron : terms:(Mat.t * Mat.t) list -> a:Mat.t -> bu:Mat.t -> Mat.
 val solve_linear_dense :
   ?health:Health.t ->
   ?cond_limit:float ->
+  ?fcache:(float list, dense_block) Factor_cache.t ->
   steps:float array ->
   e:Mat.t ->
   a:Mat.t ->
@@ -86,39 +146,15 @@ val solve_linear_dense :
     [(2/h_i·E − A) x_i = bu_i − (4/h_i)·E·(−1)^i·Σ_{j<i} (−1)^j x_j]
 
     [O(n^β·#distinct steps + n·m)] instead of the generic engine's
-    [O(n·m²)]. Never materialises [D]. *)
-
-(** Bounded step-size → factorisation cache used by the order-1 fast
-    paths. A hashtable keyed on the exact float step gives O(1) lookups
-    (the former assoc list scanned linearly — O(m²) over a
-    fully-adaptive grid — and grew without bound); when [capacity]
-    distinct steps are exceeded the cache resets, bounding memory while
-    keeping uniform and few-distinct-step grids fully cached. *)
-module Factor_cache : sig
-  type 'f t
-
-  val default_capacity : int
-  (** 64. *)
-
-  val create : ?capacity:int -> unit -> 'f t
-  (** Raises [Invalid_argument] if [capacity < 1]. *)
-
-  val find_or_add : 'f t -> float -> (float -> 'f) -> 'f
-  (** [find_or_add c h factor] returns the cached factorisation for
-      step [h], calling [factor h] (and evicting on overflow) on a
-      miss. *)
-
-  val length : 'f t -> int
-  (** Currently cached entries; always [<= capacity]. *)
-
-  val hits : 'f t -> int
-
-  val misses : 'f t -> int
-end
+    [O(n·m²)]. Never materialises [D]. [?fcache] shares the step →
+    factorisation cache across calls (keyed [[1.0; h]], α and step);
+    the windowed driver passes one cache for all windows so the pencil
+    is factorised exactly once per horizon. *)
 
 val solve_linear_sparse :
   ?health:Health.t ->
   ?cond_limit:float ->
+  ?fcache:(float list, sparse_block) Factor_cache.t ->
   steps:float array ->
   e:Csr.t ->
   a:Csr.t ->

@@ -61,8 +61,8 @@ let shift_by_x0 x x0 =
   let n, m = Mat.dims x in
   Mat.init n m (fun r i -> Mat.get x r i +. x0.(r))
 
-let simulate_multi_term ?(backend = `Auto) ?health ?x0 ~grid
-    (sys : Multi_term.t) sources =
+let simulate_multi_term ?(backend = `Auto) ?health ?x0 ?window ?memory_len
+    ~grid (sys : Multi_term.t) sources =
   Trace.with_span "opm.simulate" @@ fun () ->
   let n = Multi_term.order sys in
   let bu = bu_matrix ~grid sys sources in
@@ -85,6 +85,17 @@ let simulate_multi_term ?(backend = `Auto) ?health ?x0 ~grid
       ~state_names:sys.Multi_term.state_names
       ~output_names:sys.Multi_term.output_names ()
   in
+  (* windowed streaming: delegate to the Window driver only for a
+     genuine split (w < m); w ≥ m degenerates to the global path below,
+     which keeps the w = m case bit-identical to an unwindowed run *)
+  match window with
+  | Some w when w < 1 -> invalid_arg "Opm: window width must be >= 1"
+  | Some w when w < Grid.size grid ->
+      let x, _stats =
+        Window.solve ~backend ?health ?memory_len ~window:w ~grid sys ~bu
+      in
+      pack x
+  | _ -> (
   (* paper §III-A: the order-1 matrix D has a special pattern that turns
      the per-column history into one running alternating sum; dispatch to
      that fast path when the system is plain linear *)
@@ -101,16 +112,18 @@ let simulate_multi_term ?(backend = `Auto) ?health ?x0 ~grid
               ~a:(Csr.to_dense sys.Multi_term.a) ~bu ()
       in
       pack x
-  | _ -> pack (solve_multi_term_general ?health ~backend ~grid sys ~bu)
+  | _ -> pack (solve_multi_term_general ?health ~backend ~grid sys ~bu))
 
-let simulate_fractional ?backend ?health ?x0 ~grid ~alpha sys sources =
-  simulate_multi_term ?backend ?health ?x0 ~grid
+let simulate_fractional ?backend ?health ?x0 ?window ?memory_len ~grid ~alpha
+    sys sources =
+  simulate_multi_term ?backend ?health ?x0 ?window ?memory_len ~grid
     (Multi_term.of_fractional ~alpha sys)
     sources
 
-let simulate_linear ?backend ?health ?x0 ~grid sys sources =
-  simulate_multi_term ?backend ?health ?x0 ~grid (Multi_term.of_linear sys)
-    sources
+let simulate_linear ?backend ?health ?x0 ?window ?memory_len ~grid sys sources
+    =
+  simulate_multi_term ?backend ?health ?x0 ?window ?memory_len ~grid
+    (Multi_term.of_linear sys) sources
 
 let simulate_linear_kron ~grid (sys : Descriptor.t) sources =
   let mt = Multi_term.of_linear sys in

@@ -17,7 +17,18 @@ open Opm_signal
     fallback cascade (see {!Engine}): NaN/Inf counts, residuals,
     condition estimates and fallback events are recorded into it and
     the filled report is carried on the returned {!Sim_result.t}.
-    Collection never changes the computed waveforms. *)
+    Collection never changes the computed waveforms.
+
+    Windowed streaming: the transient entry points accept [?window:w],
+    which tiles the horizon into [⌈m/w⌉] windows solved by the
+    {!Window} driver — one shared pencil factorisation across all
+    windows, state handed across boundaries (exact endpoint transfer
+    for order-1 systems, history-tail RHS correction otherwise; see
+    {!Window}). [?memory_len] truncates the fractional history tail
+    (default: full tail = exact). Requires a uniform grid. [w ≥ m] (and
+    [?window] omitted) runs the ordinary global solve, so the
+    degenerate window is bit-identical to an unwindowed run; raises
+    [Invalid_argument] when [w < 1]. *)
 
 type backend = [ `Auto | `Dense | `Sparse ]
 
@@ -25,6 +36,8 @@ val simulate_linear :
   ?backend:backend ->
   ?health:Opm_robust.Health.t ->
   ?x0:Opm_numkit.Vec.t ->
+  ?window:int ->
+  ?memory_len:int ->
   grid:Grid.t ->
   Descriptor.t ->
   Source.t array ->
@@ -40,6 +53,8 @@ val simulate_fractional :
   ?backend:backend ->
   ?health:Opm_robust.Health.t ->
   ?x0:Opm_numkit.Vec.t ->
+  ?window:int ->
+  ?memory_len:int ->
   grid:Grid.t ->
   alpha:float ->
   Descriptor.t ->
@@ -55,6 +70,8 @@ val simulate_multi_term :
   ?backend:backend ->
   ?health:Opm_robust.Health.t ->
   ?x0:Opm_numkit.Vec.t ->
+  ?window:int ->
+  ?memory_len:int ->
   grid:Grid.t ->
   Multi_term.t ->
   Source.t array ->

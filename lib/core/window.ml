@@ -1,0 +1,362 @@
+open Opm_numkit
+open Opm_sparse
+open Opm_basis
+module Metrics = Opm_obs.Metrics
+module Trace = Opm_obs.Trace
+
+type stats = {
+  windows : int;
+  width : int;
+  memory_len : int;
+  factor_hits : int;
+  factor_misses : int;
+  handoff_seconds : float;
+}
+
+(* per-term carried state of the general path: the ρ_α = ρ_n ⊛ ρ_β
+   split (see run_general below) plus the ring of transformed history
+   columns y_t *)
+type term_state = {
+  coeff : Csr.t;
+  scale : float;  (** (2/h)^α *)
+  n_int : int;  (** ⌊α⌋ *)
+  beta : float;  (** α − ⌊α⌋ *)
+  binom : float array;  (** C(n_int, p), p = 0 … n_int *)
+  rho_beta : float array;  (** ρ series of the fractional factor *)
+  rho_full : float array;  (** ρ series of α itself (window D blocks) *)
+  yr : int;  (** y ring size: max(k_eff, n_int, 1) *)
+  yring : float array array;  (** y_t at slot t mod yr *)
+}
+
+let m_windows = Metrics.counter "window.count"
+let m_factor_reuse = Metrics.counter "window.factor_reuse"
+let h_handoff = Metrics.histogram "window.handoff_seconds"
+
+(* kept in sync with Opm.pick_backend (Window sits below Opm in the
+   dependency order, so the three-line policy is duplicated rather than
+   imported) *)
+let pick_backend backend n =
+  match backend with
+  | `Dense -> `Dense
+  | `Sparse -> `Sparse
+  | `Auto -> if n > 64 then `Sparse else `Dense
+
+(* α = n + β with n = ⌊α⌋: the driver carries the ρ_n (integer) factor
+   of the history exactly and truncates only the decaying ρ_β tail, so
+   the discarded weight — and hence the error heuristic — lives in the
+   fractional factor alone. *)
+let split_alpha alpha =
+  let n_int = int_of_float (Float.floor alpha) in
+  (n_int, alpha -. float_of_int n_int)
+
+let truncation_mass ~alpha ~lags ~memory_len =
+  if memory_len < 0 then invalid_arg "Window.truncation_mass: memory_len < 0";
+  let _, beta = split_alpha alpha in
+  if beta = 0.0 || lags < 1 || memory_len >= lags then 0.0
+  else begin
+    let rho = Series.one_minus_over_one_plus_pow beta (lags + 1) in
+    let total = ref 0.0 in
+    let tail = ref 0.0 in
+    for j = 1 to lags do
+      let a = Float.abs rho.(j) in
+      total := !total +. a;
+      if j > memory_len then tail := !tail +. a
+    done;
+    if !total = 0.0 then 0.0 else !tail /. !total
+  end
+
+let solve ?(backend = `Auto) ?health ?memory_len ?on_window ~window:w ~grid
+    (sys : Multi_term.t) ~bu =
+  Trace.with_span "window.solve" @@ fun () ->
+  let m = Grid.size grid in
+  let n = Multi_term.order sys in
+  if w < 1 then invalid_arg "Window.solve: window width must be >= 1";
+  if not (Grid.is_uniform ~tol:1e-12 grid) then
+    invalid_arg "Window.solve: windowed streaming requires a uniform grid";
+  let bn, bm = Mat.dims bu in
+  if bn <> n || bm <> m then
+    invalid_arg
+      (Printf.sprintf "Window.solve: bu is %d×%d but system/grid need %d×%d"
+         bn bm n m);
+  let h = Grid.t_end grid /. float_of_int m in
+  let k_eff =
+    match memory_len with
+    | None -> m
+    | Some k ->
+        if k < 0 then invalid_arg "Window.solve: memory_len < 0";
+        min k m
+  in
+  let w = min w m in
+  let nwin = (m + w - 1) / w in
+  let backend = pick_backend backend n in
+  let builder = Sim_result.Builder.create ~n in
+  let handoff = ref 0.0 in
+  let fc_d = Engine.Factor_cache.create () in
+  let fc_s = Engine.Factor_cache.create () in
+  let finish_window ~index ~start ~dt x_win =
+    handoff := !handoff +. dt;
+    Metrics.incr m_windows;
+    Metrics.observe h_handoff dt;
+    Sim_result.Builder.append builder x_win;
+    Option.iter (fun f -> f ~index ~start x_win) on_window
+  in
+  (* exact order-1 path: carry the O(n) endpoint state across windows
+     instead of a history tail (the order-1 ρ weights alternate without
+     decay, so truncation would be unsound). The order-1 OPM solve is
+     the trapezoidal recursion on endpoint values e_i = 2x_i − e_{i−1};
+     substituting z = x − x_off turns a window with incoming endpoint
+     x_off into a zero-initial-condition window of the same system with
+     bu shifted by A·x_off. *)
+  let run_linear e =
+    let a = sys.Multi_term.a in
+    let e_dense = lazy (Csr.to_dense e) in
+    let a_dense = lazy (Csr.to_dense a) in
+    let x_off = Array.make n 0.0 in
+    for win = 0 to nwin - 1 do
+      let s = win * w in
+      let wlen = min w (m - s) in
+      Trace.with_span "window" (fun () ->
+          let t0 = Unix.gettimeofday () in
+          let ax = Csr.mul_vec a x_off in
+          let bu_win =
+            Mat.init n wlen (fun r l -> Mat.get bu r (s + l) +. ax.(r))
+          in
+          let dt_pre = Unix.gettimeofday () -. t0 in
+          let steps = Array.make wlen h in
+          let z =
+            match backend with
+            | `Sparse ->
+                Engine.solve_linear_sparse ?health ~fcache:fc_s ~steps ~e ~a
+                  ~bu:bu_win ()
+            | `Dense ->
+                Engine.solve_linear_dense ?health ~fcache:fc_d ~steps
+                  ~e:(Lazy.force e_dense) ~a:(Lazy.force a_dense) ~bu:bu_win
+                  ()
+          in
+          let t1 = Unix.gettimeofday () in
+          let x_win =
+            Mat.init n wlen (fun r l -> Mat.get z r l +. x_off.(r))
+          in
+          (* window-end endpoint of the z-frame: e'_end = 2 Σ_l (−1)^{wlen−1−l} z_l *)
+          for r = 0 to n - 1 do
+            let zend = ref 0.0 in
+            for l = 0 to wlen - 1 do
+              let sign = if (wlen - 1 - l) land 1 = 1 then -1.0 else 1.0 in
+              zend := !zend +. (sign *. Mat.get z r l)
+            done;
+            x_off.(r) <- x_off.(r) +. (2.0 *. !zend)
+          done;
+          let dt = dt_pre +. (Unix.gettimeofday () -. t1) in
+          finish_window ~index:win ~start:s ~dt x_win)
+    done
+  in
+  (* general path: the tail of the Toeplitz history becomes a RHS
+     correction. ρ_α factors as ρ_n ⊛ ρ_β (n = ⌊α⌋): because
+     ((1−q)/(1+q))^n satisfies (1+q)^n·y = (1−q)^n·x, the integer
+     factor is an order-n linear recurrence
+
+      Σ_p C(n,p) y_{t−p} = Σ_p (−1)^p C(n,p) x_{t−p}
+
+     whose state is carried across windows {e exactly} — the ρ_n
+     weights alternate without decay, so they must never be truncated.
+     Only the ρ_β factor (weights decaying like lag^{−(1+β)}) is
+     short-memory truncated to the last k_eff transformed columns. *)
+  let run_general () =
+    let terms = sys.Multi_term.terms in
+    let term_data =
+      List.map
+        (fun { Multi_term.coeff; alpha } ->
+          let n_int, beta = split_alpha alpha in
+          let binom = Array.make (n_int + 1) 1.0 in
+          for p = 1 to n_int do
+            binom.(p) <-
+              binom.(p - 1)
+              *. float_of_int (n_int - p + 1)
+              /. float_of_int p
+          done;
+          let rho_beta =
+            if beta = 0.0 then [||]
+            else Series.one_minus_over_one_plus_pow beta m
+          in
+          (* y ring keeps the last k_eff transformed columns for the
+             ρ_β tail, but never fewer than the n_int recurrence
+             boundary values — those are exact carried state *)
+          let yr = max (max k_eff n_int) 1 in
+          {
+            coeff;
+            scale = (2.0 /. h) ** alpha;
+            n_int;
+            beta;
+            binom;
+            rho_beta;
+            rho_full = Series.one_minus_over_one_plus_pow alpha m;
+            yr;
+            yring = Array.make yr [||];
+          })
+        terms
+    in
+    let key_salt =
+      List.map (fun { Multi_term.alpha; _ } -> alpha) terms @ [ h ]
+    in
+    let d_win wlen =
+      List.map
+        (fun ti ->
+          Mat.init wlen wlen (fun i j ->
+              if j >= i then ti.scale *. ti.rho_full.(j - i) else 0.0))
+        term_data
+    in
+    let d_full = d_win w in
+    let dense_coeffs =
+      lazy (List.map (fun { Multi_term.coeff; _ } -> Csr.to_dense coeff) terms)
+    in
+    let a_dense = lazy (Csr.to_dense sys.Multi_term.a) in
+    let max_nint = List.fold_left (fun acc ti -> max acc ti.n_int) 0 term_data in
+    let xr = max max_nint 1 in
+    let xring = Array.make xr [||] in
+    let zero_vec = Array.make n 0.0 in
+    for win = 0 to nwin - 1 do
+      let s = win * w in
+      let wlen = min w (m - s) in
+      Trace.with_span "window" (fun () ->
+          let t0 = Unix.gettimeofday () in
+          let bu_win = Mat.init n wlen (fun r l -> Mat.get bu r (s + l)) in
+          let j0 = max 0 (s - k_eff) in
+          if s > 0 then
+            List.iter
+              (fun ti ->
+                (* u_t, t ∈ [s, s+wlen): the pre-window history pushed
+                   through the ρ_n transform with in-window x ≡ 0 — the
+                   part of the transformed stream the window's own D
+                   does not see *)
+                let u = Array.make wlen zero_vec in
+                for l = 0 to wlen - 1 do
+                  let t = s + l in
+                  let acc = Array.make n 0.0 in
+                  for p = 0 to ti.n_int do
+                    let j = t - p in
+                    if j < s && j >= 0 then
+                      let c =
+                        (if p land 1 = 1 then -1.0 else 1.0) *. ti.binom.(p)
+                      in
+                      Vec.axpy c xring.(j mod xr) acc
+                  done;
+                  for p = 1 to ti.n_int do
+                    let j = t - p in
+                    let v =
+                      if j >= s then u.(j - s)
+                      else if j >= 0 then ti.yring.(j mod ti.yr)
+                      else zero_vec
+                    in
+                    Vec.axpy (-.ti.binom.(p)) v acc
+                  done;
+                  u.(l) <- acc
+                done;
+                (* tail correction T_l = scale · Σ_b ρ_β(b) U(t−b),
+                   truncated to transformed columns ≥ j0; β = 0 terms
+                   collapse to T_l = scale · u_l — exact, no tail *)
+                for l = 0 to wlen - 1 do
+                  let t = s + l in
+                  let v = Array.make n 0.0 in
+                  if ti.beta = 0.0 then Vec.axpy ti.scale u.(l) v
+                  else
+                    for tt = j0 to t do
+                      let c = ti.scale *. ti.rho_beta.(t - tt) in
+                      if c <> 0.0 then
+                        let uv =
+                          if tt >= s then u.(tt - s)
+                          else ti.yring.(tt mod ti.yr)
+                        in
+                        Vec.axpy c uv v
+                    done;
+                  let ev = Csr.mul_vec ti.coeff v in
+                  for r = 0 to n - 1 do
+                    Mat.update bu_win r l (fun x -> x -. ev.(r))
+                  done
+                done)
+              term_data;
+          let dt_pre = Unix.gettimeofday () -. t0 in
+          let d = if wlen = w then d_full else d_win wlen in
+          let x_win =
+            match backend with
+            | `Sparse ->
+                Engine.solve_sparse ?health ~fcache:fc_s ~key_salt
+                  ~terms:
+                    (List.map2
+                       (fun { Multi_term.coeff; _ } dm -> (coeff, dm))
+                       terms d)
+                  ~a:sys.Multi_term.a ~bu:bu_win ()
+            | `Dense ->
+                Engine.solve_dense ?health ~fcache:fc_d ~key_salt
+                  ~terms:(List.map2 (fun e dm -> (e, dm)) (Lazy.force dense_coeffs) d)
+                  ~a:(Lazy.force a_dense) ~bu:bu_win ()
+          in
+          let t1 = Unix.gettimeofday () in
+          (* advance the carried state: push the window's columns through
+             each term's ρ_n recurrence (this time with the real x) and
+             into the y rings, then refresh the x ring *)
+          let xcols = Array.init wlen (fun l -> Mat.col x_win l) in
+          List.iter
+            (fun ti ->
+              if ti.n_int = 0 then
+                for l = 0 to wlen - 1 do
+                  ti.yring.((s + l) mod ti.yr) <- xcols.(l)
+                done
+              else begin
+                let ys = Array.make wlen zero_vec in
+                for l = 0 to wlen - 1 do
+                  let t = s + l in
+                  let acc = Array.make n 0.0 in
+                  for p = 0 to ti.n_int do
+                    let j = t - p in
+                    if j >= 0 then
+                      let xv =
+                        if j >= s then xcols.(j - s) else xring.(j mod xr)
+                      in
+                      let c =
+                        (if p land 1 = 1 then -1.0 else 1.0) *. ti.binom.(p)
+                      in
+                      Vec.axpy c xv acc
+                  done;
+                  for p = 1 to ti.n_int do
+                    let j = t - p in
+                    if j >= 0 then
+                      let yv =
+                        if j >= s then ys.(j - s)
+                        else ti.yring.(j mod ti.yr)
+                      in
+                      Vec.axpy (-.ti.binom.(p)) yv acc
+                  done;
+                  ys.(l) <- acc
+                done;
+                for l = 0 to wlen - 1 do
+                  ti.yring.((s + l) mod ti.yr) <- ys.(l)
+                done
+              end)
+            term_data;
+          if max_nint > 0 then
+            for l = 0 to wlen - 1 do
+              xring.((s + l) mod xr) <- xcols.(l)
+            done;
+          let dt = dt_pre +. (Unix.gettimeofday () -. t1) in
+          finish_window ~index:win ~start:s ~dt x_win)
+    done
+  in
+  (* dispatch mirrors Opm.simulate_multi_term so that windowed and
+     global runs take the same per-column arithmetic *)
+  (match (sys.Multi_term.terms, sys.Multi_term.input_order) with
+  | [ { Multi_term.coeff = e; alpha = 1.0 } ], 0 -> run_linear e
+  | _ -> run_general ());
+  let hits = Engine.Factor_cache.hits fc_d + Engine.Factor_cache.hits fc_s in
+  let misses =
+    Engine.Factor_cache.misses fc_d + Engine.Factor_cache.misses fc_s
+  in
+  Metrics.incr ~by:hits m_factor_reuse;
+  ( Sim_result.Builder.to_mat builder,
+    {
+      windows = nwin;
+      width = w;
+      memory_len = k_eff;
+      factor_hits = hits;
+      factor_misses = misses;
+      handoff_seconds = !handoff;
+    } )

@@ -1,0 +1,109 @@
+open Opm_numkit
+
+(** Windowed streaming OPM driver.
+
+    Splits a uniform horizon of [m] intervals into [⌈m/w⌉] windows of
+    [w] columns (the last possibly shorter) and solves each window with
+    the ordinary {!Engine} column machinery. On a uniform grid every
+    diagonal block of the pencil is the same matrix, so one
+    {!Engine.Factor_cache} shared across all windows factorises it
+    exactly once for the whole horizon — the per-window solves are pure
+    triangular substitutions, and the working set of a window is
+    O(n·(w + K)) instead of the global solve's O(n·m).
+
+    {2 State handoff}
+
+    Because [D^α] is upper-triangular Toeplitz on a uniform grid
+    ([d_{ji} = (2/h)^α · ρ_{i−j}]), the coupling of window columns to
+    columns before the window is a pure RHS term: for global column
+    [i = s + l] of a window starting at [s],
+
+    [bu'_l = bu_i − Σ_k E_k Σ_{j=max(0, s−K)}^{s−1} (2/h)^{α_k} ρ^{(k)}_{i−j} x_j]
+
+    With the full tail ([K = m], the default) this is algebraically the
+    global column recurrence re-bracketed, so the windowed solve equals
+    the global one for {e every} order, integer or fractional, up to
+    the rounding introduced by regrouping the sum (≈1e-15 rel per
+    handoff).
+
+    [~memory_len] truncates the tail to the last [K] columns — the
+    short-memory principle — but naive truncation of [ρ_α] is only
+    sound for [0 < α < 1]: the [ρ] weights of [α ≥ 1] alternate without
+    decay ([α = 1] is exactly [1, −2, 2, −2, …]), so the driver factors
+    each order as [α = n + β] with [n = ⌊α⌋] and splits
+    [ρ_α = ρ_n ⊛ ρ_β]. The integer factor is the order-[n] linear
+    recurrence [Σ_p C(n,p) y_{t−p} = Σ_p (−1)^p C(n,p) x_{t−p}]
+    (because [((1−q)/(1+q))^n] satisfies [(1+q)^n y = (1−q)^n x]) whose
+    [O(n·n_states)] boundary state is carried across windows {e
+    exactly}; only the fractional factor [ρ_β], whose weights decay
+    like [lag^{−(1+β)}], is truncated to the last [K] transformed
+    columns. Consequences: integer orders are exact for {e any}
+    [memory_len] (including 0), and a truncated fractional solve
+    commits a relative error empirically below {!truncation_mass} of
+    the [β] series.
+
+    Single-term order-1 systems skip all of this for a cheaper exact
+    path matching the {!Engine} §III-A fast solver: per window,
+    substitute [z = x − x_off] ([x_off] = the endpoint state entering
+    the window), solve the zero-initial-condition window, and advance
+    [x_off ← x_off + 2 Σ_l (−1)^{w−1−l} z_l] (the BPF endpoint
+    recursion [e_i = 2x_i − e_{i−1}]); O(n) carried state, exact even
+    for singular [E] (MNA/DAE systems).
+
+    Observability: each window runs in a ["window"] trace span;
+    [window.count] counts windows, [window.factor_reuse] counts
+    factorisations served from the shared cache, and
+    [window.handoff_seconds] observes per-window handoff time. *)
+
+type stats = {
+  windows : int;  (** number of windows solved, [⌈m/w⌉] *)
+  width : int;  (** requested window width [w] *)
+  memory_len : int;  (** effective history length [K] *)
+  factor_hits : int;
+      (** pencil factorisations served from the shared cache — the
+          cross-window (and cross-column) reuse the driver exists for *)
+  factor_misses : int;  (** factorisations actually computed *)
+  handoff_seconds : float;
+      (** total wall time spent on cross-window state handoff (history
+          tail RHS corrections, endpoint transfer, ring updates) *)
+}
+
+val truncation_mass :
+  alpha:float -> lags:int -> memory_len:int -> float
+(** [truncation_mass ~alpha ~lags ~memory_len] =
+    [Σ_{K < j ≤ lags} |ρ_j| / Σ_{1 ≤ j ≤ lags} |ρ_j|] for the ρ-series
+    of the {e fractional factor} [β = α − ⌊α⌋] (the only part the
+    driver truncates; see the handoff notes above) — the fraction of
+    total history weight a [memory_len = K] truncation discards over a
+    horizon with [lags] ([= m − 1]) reachable lags. [0.] for integer
+    [α] (carried exactly) and whenever nothing is truncated; the
+    windowed-vs-global relative error of a truncated solve is
+    empirically below this mass (see [test/test_window.ml]). *)
+
+val solve :
+  ?backend:[ `Auto | `Dense | `Sparse ] ->
+  ?health:Opm_robust.Health.t ->
+  ?memory_len:int ->
+  ?on_window:(index:int -> start:int -> Mat.t -> unit) ->
+  window:int ->
+  grid:Opm_basis.Grid.t ->
+  Multi_term.t ->
+  bu:Mat.t ->
+  Mat.t * stats
+(** [solve ~window:w ~grid sys ~bu] solves the coefficient equation for
+    [sys] against the precomputed [n×m] forcing matrix [bu] (see
+    {!Opm.simulate_multi_term}, which builds [bu] — including the
+    [x₀] substitution — and delegates here when [?window] is given),
+    streaming window by window. Returns the full coefficient matrix
+    plus the streaming {!stats}.
+
+    [?memory_len] bounds the fractional history tail (default: full
+    horizon = exact); it is ignored by the exact order-1 path.
+    [?on_window] is called after each window with its index, starting
+    column, and the [n×wlen] solved block — the streaming hook for
+    consumers that do not want the assembled horizon.
+
+    Raises [Invalid_argument] when [window < 1], [memory_len < 0], the
+    grid is not uniform, or [bu] disagrees with the system order and
+    grid size. [window ≥ m] degenerates to a single window covering the
+    horizon. *)

@@ -3,13 +3,35 @@
 # exit 0 and must not emit NaN/Inf anywhere in its output. A waveform
 # that went non-finite is the classic silent failure mode of an
 # unguarded solver — catch it in CI, not in a paper figure.
+#
+# Golden check: the first 3 and last 3 lines of each example's output
+# are additionally diffed against a committed snapshot in
+# <golden_dir>/<name>.txt (first argument). That pins the numbers the
+# examples print — a solver change that silently shifts a waveform now
+# fails `dune runtest` with a readable diff instead of sliding through.
+#
+# To regenerate the snapshots after an *intended* output change, run
+# from the repo root:
+#
+#   dune build @default
+#   OPM_GOLDEN_UPDATE=1 test/smoke_examples.sh test/golden \
+#       _build/default/examples/*.exe
+#
+# then review and commit the updated test/golden/*.txt files.
 set -u
+
+if [ "$#" -lt 1 ]; then
+  echo "usage: smoke_examples.sh <golden_dir> <example.exe>..." >&2
+  exit 2
+fi
+golden_dir=$1
+shift
 
 status=0
 for exe in "$@"; do
   out=$("$exe" 2>&1)
   code=$?
-  name=$(basename "$exe")
+  name=$(basename "$exe" .exe)
   if [ "$code" -ne 0 ]; then
     echo "smoke: $name exited with status $code" >&2
     status=1
@@ -17,6 +39,23 @@ for exe in "$@"; do
   if printf '%s' "$out" | grep -Eiqw 'nan|inf'; then
     echo "smoke: $name produced non-finite output:" >&2
     printf '%s\n' "$out" | grep -Eiw 'nan|inf' | head -5 >&2
+    status=1
+  fi
+  snap=$({ printf '%s\n' "$out" | head -3; printf '%s\n' "$out" | tail -3; })
+  gfile="$golden_dir/$name.txt"
+  if [ "${OPM_GOLDEN_UPDATE:-0}" = "1" ]; then
+    mkdir -p "$golden_dir"
+    printf '%s\n' "$snap" > "$gfile"
+    echo "smoke: regenerated $gfile"
+  elif [ -f "$gfile" ]; then
+    if ! printf '%s\n' "$snap" | diff -u "$gfile" - >/dev/null 2>&1; then
+      echo "smoke: $name drifted from golden snapshot $gfile:" >&2
+      printf '%s\n' "$snap" | diff -u "$gfile" - | head -20 >&2
+      echo "smoke: if the change is intended, regenerate with OPM_GOLDEN_UPDATE=1 (see header)" >&2
+      status=1
+    fi
+  else
+    echo "smoke: missing golden snapshot $gfile (create with OPM_GOLDEN_UPDATE=1)" >&2
     status=1
   fi
 done

@@ -405,6 +405,171 @@ let prop_random_netlist_roundtrip =
       && List.length mt1.Multi_term.terms = List.length mt2.Multi_term.terms
       && Netlist.node_count net = Netlist.node_count reparsed)
 
+(* ---------- parser fuzz ----------
+
+   The QCheck roundtrip above starts from netlist *objects*, so it only
+   ever sees the canonical surface syntax [Netlist.to_string] emits.
+   This fuzzer starts from raw TEXT and exercises the syntax the
+   unparser never produces: value suffixes (mixed case), comment lines,
+   trailing `;` comments, commas inside source calls, stray blank lines
+   and a `.end` card. Cases are seeded from OPM_PROP_SEED (default
+   20260806) and every failure carries the replay seed. *)
+
+let fuzz_base_seed =
+  match Sys.getenv_opt "OPM_PROP_SEED" with
+  | Some s -> ( try int_of_string (String.trim s) with _ -> 20260806)
+  | None -> 20260806
+
+let fuzz_prop ~n f () =
+  for k = 0 to n - 1 do
+    let seed = fuzz_base_seed + (1013904223 * k) in
+    let st = Random.State.make [| 0x51c7; seed |] in
+    try f st
+    with e ->
+      Alcotest.failf "case %d failed — replay with OPM_PROP_SEED=%d — %s" k
+        seed (Printexc.to_string e)
+  done
+
+let random_netlist_text st =
+  let buf = Buffer.create 256 in
+  let pick arr = arr.(Random.State.int st (Array.length arr)) in
+  let value () =
+    let mant = 0.1 +. Random.State.float st 99.9 in
+    match Random.State.int st 4 with
+    | 0 -> Printf.sprintf "%.4g" mant
+    | 1 ->
+        Printf.sprintf "%.4g%s" mant
+          (pick [| "k"; "meg"; "m"; "u"; "n"; "p" |])
+    | 2 -> Printf.sprintf "%.4g%s" mant (pick [| "K"; "MEG"; "U"; "N" |])
+    | _ -> Printf.sprintf "%.4ge%+d" mant (Random.State.int st 9 - 4)
+  in
+  let n_nodes = 2 + Random.State.int st 5 in
+  let node () = Printf.sprintf "n%d" (Random.State.int st n_nodes) in
+  let node_or_gnd () =
+    if Random.State.bool st then pick [| "0"; "gnd"; "GND" |] else node ()
+  in
+  let sep () = pick [| " "; ", " |] in
+  let source_spec () =
+    match Random.State.int st 8 with
+    | 0 -> Printf.sprintf "step(%s)" (value ())
+    | 1 -> Printf.sprintf "STEP(%s%s1n)" (value ()) (sep ())
+    | 2 ->
+        Printf.sprintf "pulse(0%s%s%s1n%s5n%s20n)" (sep ()) (value ())
+          (sep ()) (sep ()) (sep ())
+    | 3 -> Printf.sprintf "sin(0%s%s%s1meg)" (sep ()) (value ()) (sep ())
+    | 4 -> Printf.sprintf "exp(%s%s%s)" (value ()) (sep ()) (value ())
+    | 5 -> Printf.sprintf "ramp(%s)" (value ())
+    | 6 -> Printf.sprintf "pwl(0 0, 1u %s, 2u 0)" (value ())
+    | _ -> if Random.State.bool st then "dc " ^ value () else value ()
+  in
+  let decor line =
+    let line = if Random.State.int st 4 = 0 then "  " ^ line else line in
+    let line =
+      if Random.State.int st 4 = 0 then line ^ "   ; trailing comment"
+      else line
+    in
+    Buffer.add_string buf line;
+    Buffer.add_char buf '\n';
+    if Random.State.int st 5 = 0 then
+      Buffer.add_string buf (pick [| "* a comment line\n"; "\n" |])
+  in
+  (* a driving source so stamping is meaningful *)
+  decor
+    (Printf.sprintf "%s0 n0 0 %s"
+       (pick [| "I"; "V" |])
+       (source_spec ()));
+  for k = 1 to 3 + Random.State.int st 8 do
+    let a = node () and b = node_or_gnd () in
+    if a <> b && not (Netlist.is_ground a && Netlist.is_ground b) then
+      match Random.State.int st 7 with
+      | 0 -> decor (Printf.sprintf "R%d %s %s %s" k a b (value ()))
+      | 1 -> decor (Printf.sprintf "C%d %s %s %s" k a b (value ()))
+      | 2 -> decor (Printf.sprintf "L%d %s %s %s" k a b (value ()))
+      | 3 ->
+          decor
+            (Printf.sprintf "P%d %s %s q=%s alpha=%.3f" k a b (value ())
+               (0.2 +. Random.State.float st 0.7))
+      | 4 ->
+          decor
+            (Printf.sprintf "G%d %s %s %s 0 %s" k a b (node ()) (value ()))
+      | 5 -> decor (Printf.sprintf "I%d %s %s %s" k a b (source_spec ()))
+      | _ -> decor (Printf.sprintf "V%d %s %s %s" k a b (source_spec ()))
+  done;
+  if Random.State.bool st then
+    Buffer.add_string buf (pick [| ".end\n"; ".END\n" |]);
+  Buffer.contents buf
+
+let prop_parser_fuzz_text_roundtrip =
+  fuzz_prop ~n:40 (fun st ->
+      let text = random_netlist_text st in
+      let net1 =
+        try Parser.parse_string text
+        with Parser.Parse_error { line; message } ->
+          Alcotest.failf "generated text rejected at line %d (%s):\n%s" line
+            message text
+      in
+      let printed = Netlist.to_string net1 in
+      let net2 = Parser.parse_string printed in
+      check_int "cardinality survives print → parse"
+        (Netlist.cardinality net1)
+        (Netlist.cardinality net2);
+      check_int "node count survives print → parse"
+        (Netlist.node_count net1)
+        (Netlist.node_count net2);
+      let mt1, srcs1 = Mna.stamp net1 in
+      let mt2, srcs2 = Mna.stamp net2 in
+      close "stamped A matrices equal" 0.0
+        (Csr.max_abs_diff mt1.Multi_term.a mt2.Multi_term.a)
+        ~tol:1e-15;
+      check_int "same term count"
+        (List.length mt1.Multi_term.terms)
+        (List.length mt2.Multi_term.terms);
+      check_int "same source count" (Array.length srcs1)
+        (Array.length srcs2);
+      Array.iteri
+        (fun k s1 ->
+          List.iter
+            (fun t ->
+              close
+                (Printf.sprintf "source %d at t=%g" k t)
+                (Source.eval s1 t)
+                (Source.eval srcs2.(k) t)
+                ~tol:1e-12)
+            [ 0.0; 3e-7; 1.1e-6; 5e-6 ])
+        srcs1)
+
+(* every rejection must point at the offending 1-based line, whatever
+   layer it comes from (tokenizer, value parser, element arity, source
+   grammar, or the netlist's own validation wrapped by parse_string) *)
+let test_parser_fuzz_malformed_line_numbers () =
+  let cases =
+    [
+      ("R1 a 0\n", 1) (* missing value *);
+      ("R1 a 0 1k\nC1 b 0 12xyz\n", 2) (* unparsable value token *);
+      ("* comment\n\nZ1 a 0 1\n", 3) (* unknown element letter *);
+      ("R1 a 0 1k\nV1 a 0 wobble(3)\n", 2) (* unknown source function *);
+      ("V1 a 0 pulse(0 1\n", 1) (* unbalanced '(' *);
+      ("R1 a 0 1k\nR2 b 0 2k\nV1 c 0 pwl(0 0, 1n)\n", 3)
+      (* odd pwl argument count *);
+      ("P1 a 0 q=1u\n", 1) (* CPE missing alpha=<v> *);
+      ("R1 a 0 1k\nP1 a 0 q=1u beta=0.5\n", 2) (* wrong CPE keyword *);
+      ("G1 a 0 b 1m\n", 1) (* VCCS arity *);
+      ("R1 a 0 1k\nR1 b 0 2k\n", 2) (* duplicate designator *);
+    ]
+  in
+  List.iteri
+    (fun k (text, expected_line) ->
+      try
+        ignore (Parser.parse_string text);
+        Alcotest.failf "case %d: expected Parse_error for %S" k text
+      with Parser.Parse_error { line; message } ->
+        check_int (Printf.sprintf "case %d line number" k) expected_line line;
+        check_bool
+          (Printf.sprintf "case %d has a message" k)
+          true
+          (String.length message > 0))
+    cases
+
 let prop_random_ladder_opm_matches_trapezoidal =
   QCheck.Test.make ~count:15
     ~name:"random RC ladders: OPM and trapezoidal agree below −55 dB"
@@ -736,6 +901,9 @@ let () =
           t "one-shot pulse" test_parse_pulse_oneshot;
           t "error line numbers" test_parse_errors_carry_line_numbers;
           t "file roundtrip" test_parse_file_roundtrip;
+          t "fuzz: random text roundtrips" prop_parser_fuzz_text_roundtrip;
+          t "fuzz: malformed inputs carry line numbers"
+            test_parser_fuzz_malformed_line_numbers;
         ] );
       ( "mna",
         [
