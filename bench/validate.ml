@@ -8,7 +8,10 @@
      positive integer [n] and [m], and finite numeric [wall_s] (>= 0)
      and [error_db] — NaN/Inf serialise as [null] and therefore fail
      the numeric check, which is how a poisoned benchmark run is caught
-     in CI.
+     in CI;
+   - table-specific contracts: in the "rhs-conv" table every "rhs-fft"
+     row must satisfy [error_db <= -200.0] (the 1e-10 relative
+     agreement contract between the FFT and naive history paths).
 
    Exit status 0 iff every file validates. *)
 
@@ -30,9 +33,11 @@ let validate file =
   | Some (Json.String s) -> fail "schema %S, expected \"opm-bench-v1\"" s
   | Some _ -> fail "schema field is not a string"
   | None -> fail "missing schema field");
-  (match Option.map Json.to_string_opt (Json.member "table" doc) with
-  | Some (Some _) -> ()
-  | _ -> fail "missing or non-string table field");
+  let table =
+    match Option.map Json.to_string_opt (Json.member "table" doc) with
+    | Some (Some t) -> t
+    | _ -> fail "missing or non-string table field"
+  in
   (match Json.member "metrics" doc with
   | Some (Json.Obj _) -> ()
   | _ -> fail "missing metrics snapshot");
@@ -49,9 +54,11 @@ let validate file =
         | Some v -> v
         | None -> fail "row %d: missing field %S" i name
       in
-      (match get "method" with
-      | Json.String _ -> ()
-      | _ -> fail "row %d: method is not a string" i);
+      let method_ =
+        match get "method" with
+        | Json.String s -> s
+        | _ -> fail "row %d: method is not a string" i
+      in
       let pos_int name =
         match Json.to_int_opt (get name) with
         | Some v when v > 0 -> ()
@@ -69,7 +76,12 @@ let validate file =
               name
       in
       if finite "wall_s" < 0.0 then fail "row %d: negative wall_s" i;
-      ignore (finite "error_db"))
+      let error_db = finite "error_db" in
+      (* accuracy contract: FFT history path within 1e-10 relative of
+         the naive scan (1e-10 ↔ −200 dB) *)
+      if table = "rhs-conv" && method_ = "rhs-fft" && error_db > -200.0 then
+        fail "row %d: rhs-fft error_db %.1f exceeds the -200 dB contract" i
+          error_db)
     rows;
   List.length rows
 

@@ -126,6 +126,15 @@ let points_arg =
   let doc = "AC sweep point count." in
   Arg.(value & opt int 50 & info [ "points" ] ~doc)
 
+let no_fft_rhs_arg =
+  let doc =
+    "Disable the FFT Toeplitz history fast path in the OPM engine \
+     (equivalent to setting $(b,OPM_NO_FFT_RHS)). The naive per-column \
+     history scan is used instead; results agree with the fast path to \
+     1e-10 relative and are bit-identical to pre-FFT releases."
+  in
+  Arg.(value & flag & info [ "no-fft-rhs" ] ~doc)
+
 let domains_arg =
   let doc =
     "Domain-pool size for the parallel analyses (AC sweeps, FFT transient). \
@@ -349,8 +358,9 @@ let emit_observability ~metrics ~trace ~report ~run_params health =
   | None -> ()
 
 let run netlist_path mode t_end steps method_ probes tol window memory_len
-    fstart fstop points domains check strict metrics trace report =
+    fstart fstop points no_fft_rhs domains check strict metrics trace report =
   try
+    if no_fft_rhs then Engine.set_fft_rhs_enabled false;
     (match domains with
     | Some d when d >= 1 -> Opm_parallel.Pool.set_default_domains d
     | Some d ->
@@ -420,8 +430,8 @@ let cmd =
     Term.(
       const run $ netlist_arg $ mode_arg $ t_end_arg $ steps_arg $ method_arg
       $ probes_arg $ tol_arg $ window_arg $ memory_len_arg $ fstart_arg
-      $ fstop_arg $ points_arg $ domains_arg $ check_arg $ strict_arg
-      $ metrics_arg $ trace_arg $ report_arg)
+      $ fstop_arg $ points_arg $ no_fft_rhs_arg $ domains_arg $ check_arg
+      $ strict_arg $ metrics_arg $ trace_arg $ report_arg)
 
 let () =
   Logs.set_reporter (Logs.format_reporter ());

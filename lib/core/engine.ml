@@ -15,6 +15,31 @@ let m_dense_fallback = Metrics.counter "engine.dense_fallback"
 (* mean per-column wall time, sampled once per 8-column batch: a clock
    read per column would by itself eat the < 2% overhead budget *)
 let h_column_seconds = Metrics.histogram "engine.column_seconds"
+let m_rhsconv_blocks = Metrics.counter "engine.rhsconv.blocks"
+let m_rhsconv_naive = Metrics.counter "engine.rhsconv.naive_cols"
+
+(* ------------------------------------------------------------------ *)
+(* FFT history-convolution switch. The Toeplitz fast path reassociates
+   the history summation, so its output matches the naive scan to
+   roundoff rather than bit-identically; OPM_NO_FFT_RHS (or
+   [set_fft_rhs_enabled false], or the CLI's --no-fft-rhs) forces every
+   solve back onto the naive path. *)
+
+let fft_rhs_flag = ref None
+
+let fft_rhs_enabled () =
+  match !fft_rhs_flag with
+  | Some b -> b
+  | None ->
+      let b =
+        match Sys.getenv_opt "OPM_NO_FFT_RHS" with
+        | None | Some "" | Some "0" -> true
+        | Some _ -> false
+      in
+      fft_rhs_flag := Some b;
+      b
+
+let set_fft_rhs_enabled b = fft_rhs_flag := Some b
 
 let check_terms_dims ~n ~m terms a_rows a_cols =
   if a_rows <> n || a_cols <> n then
@@ -101,27 +126,76 @@ let block_lookup ~fcache ~key_salt ~build =
             cache := Some (key, b);
             b)
 
-(* Accumulate rhs_i = bu_i − Σ_k E_k (Σ_{j<i} d^{(k)}_{ji} x_j), with
-   [apply_e] abstracting dense/sparse E_k·v. *)
-let column_rhs ~n ~bu ~terms ~apply_e ~cols i =
+(* Accumulate rhs_i = bu_i + sign·Σ_k E_k (Σ_{j<i} d^{(k)}_{ji} x_j),
+   with [apply_e] abstracting dense/sparse E_k·v ([sign] is −1 for the
+   differential forms, +1 for the integral form). When [conv] is given
+   the history sums come from the blocked FFT convolver (the solved
+   columns must have been pushed into it); otherwise the D_k columns are
+   scanned naively — that branch is bit-identical to the historical
+   engine. *)
+let column_rhs ?conv ?(sign = -1.0) ~n ~bu ~terms ~apply_e ~cols i =
   let rhs = Array.init n (fun r -> Mat.get bu r i) in
-  List.iteri
-    (fun k (_, dmat) ->
-      let acc = Array.make n 0.0 in
-      let any = ref false in
-      for j = 0 to i - 1 do
-        let w = Mat.get dmat j i in
-        if w <> 0.0 then begin
-          any := true;
-          Vec.axpy w cols.(j) acc
-        end
-      done;
-      if !any then begin
-        let ev = apply_e k acc in
-        Vec.axpy (-1.0) ev rhs
-      end)
-    terms;
+  (match conv with
+  | Some cv ->
+      if i > 0 then
+        List.iteri
+          (fun k _ ->
+            let hist = Fft.Blocked_conv.history cv ~term:k i in
+            let ev = apply_e k hist in
+            Vec.axpy sign ev rhs)
+          terms
+  | None ->
+      List.iteri
+        (fun k (_, dmat) ->
+          let acc = Array.make n 0.0 in
+          let any = ref false in
+          for j = 0 to i - 1 do
+            let w = Mat.get dmat j i in
+            if w <> 0.0 then begin
+              any := true;
+              Vec.axpy w cols.(j) acc
+            end
+          done;
+          if !any then begin
+            let ev = apply_e k acc in
+            Vec.axpy sign ev rhs
+          end)
+        terms);
   rhs
+
+(* Below this horizon length the naive scan wins (or ties within
+   noise): the convolver's first dyadic levels are many tiny FFTs whose
+   setup cost the short naive tail never amortises. Measured on the
+   Table I kernel the crossover sits between m = 128 and m = 256, so
+   short horizons keep the scan — which also keeps them bit-identical
+   to the historical engine. *)
+let fft_rhs_min_m = 256
+
+(* [toeplitz], when given, carries the first row of each (uniform-grid,
+   upper-triangular Toeplitz) D_k: entry [l] is the lag-l weight
+   d^{(k)}_{j,j+l}. A single-column horizon has no history, so the
+   convolver is skipped there. *)
+let make_conv ~toeplitz ~nterms ~n ~m =
+  match toeplitz with
+  | None -> None
+  | Some rows ->
+      if List.length rows <> nterms then
+        invalid_arg "Engine: toeplitz term-count mismatch";
+      List.iter
+        (fun r ->
+          if Array.length r <> m then
+            invalid_arg "Engine: toeplitz row-length mismatch")
+        rows;
+      if m >= fft_rhs_min_m && fft_rhs_enabled () then
+        Some
+          (Fft.Blocked_conv.create ~kernels:(Array.of_list rows) ~rows:n ~m ())
+      else None
+
+(* per-solve convolver bookkeeping for the obs layer *)
+let record_conv_metrics ~conv ~m =
+  match conv with
+  | Some cv -> Metrics.incr ~by:(Fft.Blocked_conv.blocks cv) m_rhsconv_blocks
+  | None -> Metrics.incr ~by:m m_rhsconv_naive
 
 (* ------------------------------------------------------------------ *)
 (* Fallback cascade                                                    *)
@@ -293,14 +367,15 @@ let solve_col_sparse ?health ~cond_limit ~column blk rhs =
 (* ------------------------------------------------------------------ *)
 
 let solve_dense ?health ?(cond_limit = Health.default_cond_limit) ?fcache
-    ?(key_salt = []) ~terms ~a ~bu () =
+    ?(key_salt = []) ?toeplitz ~terms ~a ~bu () =
   Trace.with_span "engine.solve_dense" @@ fun () ->
   let n, m = Mat.dims bu in
   check_terms_dims ~n ~m
     (List.map (fun (e, d) -> (Mat.dims e, Mat.dims d)) terms)
     (fst (Mat.dims a)) (snd (Mat.dims a));
-  let term_mats = List.map fst terms in
-  let apply_e k v = Mat.mul_vec (List.nth term_mats k) v in
+  let term_mats = Array.of_list (List.map fst terms) in
+  let apply_e k v = Mat.mul_vec term_mats.(k) v in
+  let conv = make_conv ~toeplitz ~nterms:(List.length terms) ~n ~m in
   let cols = Array.make m [||] in
   let build ~column key =
     let mat =
@@ -314,25 +389,28 @@ let solve_dense ?health ?(cond_limit = Health.default_cond_limit) ?fcache
   Metrics.incr ~by:m m_columns;
   let t_lap = ref (Metrics.lap_start ()) in
   for i = 0 to m - 1 do
-    let rhs = column_rhs ~n ~bu ~terms ~apply_e ~cols i in
+    let rhs = column_rhs ?conv ~n ~bu ~terms ~apply_e ~cols i in
     let blk = lookup ~column:i (diag_key terms i) in
     cols.(i) <- solve_col_dense ?health ~cond_limit ~column:i blk rhs;
+    Option.iter (fun cv -> Fft.Blocked_conv.push cv cols.(i)) conv;
     if i land 7 = 7 then
       t_lap := Metrics.lap_mean h_column_seconds 8 !t_lap
   done;
+  record_conv_metrics ~conv ~m;
   let x = Mat.zeros n m in
   Array.iteri (fun i col -> Mat.set_col x i col) cols;
   x
 
 let solve_sparse ?health ?(cond_limit = Health.default_cond_limit) ?fcache
-    ?(key_salt = []) ~terms ~a ~bu () =
+    ?(key_salt = []) ?toeplitz ~terms ~a ~bu () =
   Trace.with_span "engine.solve_sparse" @@ fun () ->
   let n, m = Mat.dims bu in
   check_terms_dims ~n ~m
     (List.map (fun (e, d) -> (Csr.dims e, Mat.dims d)) terms)
     (fst (Csr.dims a)) (snd (Csr.dims a));
-  let term_mats = List.map fst terms in
-  let apply_e k v = Csr.mul_vec (List.nth term_mats k) v in
+  let term_mats = Array.of_list (List.map fst terms) in
+  let apply_e k v = Csr.mul_vec term_mats.(k) v in
+  let conv = make_conv ~toeplitz ~nterms:(List.length terms) ~n ~m in
   let cols = Array.make m [||] in
   let build ~column key =
     let mat =
@@ -346,12 +424,14 @@ let solve_sparse ?health ?(cond_limit = Health.default_cond_limit) ?fcache
   Metrics.incr ~by:m m_columns;
   let t_lap = ref (Metrics.lap_start ()) in
   for i = 0 to m - 1 do
-    let rhs = column_rhs ~n ~bu ~terms ~apply_e ~cols i in
+    let rhs = column_rhs ?conv ~n ~bu ~terms ~apply_e ~cols i in
     let blk = lookup ~column:i (diag_key terms i) in
     cols.(i) <- solve_col_sparse ?health ~cond_limit ~column:i blk rhs;
+    Option.iter (fun cv -> Fft.Blocked_conv.push cv cols.(i)) conv;
     if i land 7 = 7 then
       t_lap := Metrics.lap_mean h_column_seconds 8 !t_lap
   done;
+  record_conv_metrics ~conv ~m;
   let x = Mat.zeros n m in
   Array.iteri (fun i col -> Mat.set_col x i col) cols;
   x
@@ -370,8 +450,13 @@ let solve_linear ~steps ~apply_e ~solve_col ~bu =
     let h = steps.(i) in
     let rhs = Array.init n (fun r -> Mat.get bu r i) in
     let sign = if i land 1 = 1 then -1.0 else 1.0 in
-    let coupling = apply_e salt in
-    Vec.axpy (-4.0 /. h *. sign) coupling rhs;
+    (* salt is exactly zero on column 0 (and after any exact reset): the
+       coupling term contributes ±0.0 per entry, which adding to rhs is a
+       no-op, so the E·salt matvec can be skipped *)
+    if not (Array.for_all (fun v -> v = 0.0) salt) then begin
+      let coupling = apply_e salt in
+      Vec.axpy (-4.0 /. h *. sign) coupling rhs
+    end;
     let xi = solve_col h ~column:i rhs in
     Mat.set_col x i xi;
     Vec.axpy sign xi salt;
@@ -429,7 +514,7 @@ let integral_rhs ~one ~e_x0 ~bu_int =
     invalid_arg "Engine.solve_integral: x0 length mismatch";
   Mat.init n m (fun r i -> Mat.get bu_int r i +. (e_x0.(r) *. one.(i)))
 
-let solve_integral_dense ~h_mat ~one ~e ~a ~bu_int ~x0 =
+let solve_integral_dense ?toeplitz ~h_mat ~one ~e ~a ~bu_int ~x0 () =
   let n, m = Mat.dims bu_int in
   let hr, hc = Mat.dims h_mat in
   if hr <> m || hc <> m then
@@ -441,19 +526,15 @@ let solve_integral_dense ~h_mat ~one ~e ~a ~bu_int ~x0 =
   let rhs_base = integral_rhs ~one ~e_x0:(Mat.mul_vec e x0) ~bu_int in
   let cols = Array.make m [||] in
   let cache : (float * Lu.t) option ref = ref None in
+  (* the integral form shares the history machinery of the differential
+     solvers: rhs_i = bu_i + A Σ_{j<i} H_{ji} x_j, i.e. a single
+     [column_rhs] term with E := A and sign +1; on uniform grids H is
+     Toeplitz too, so the same FFT convolver applies *)
+  let terms = [ (a, h_mat) ] in
+  let apply_e _ v = Mat.mul_vec a v in
+  let conv = make_conv ~toeplitz ~nterms:1 ~n ~m in
   for i = 0 to m - 1 do
-    let rhs = Array.init n (fun r -> Mat.get rhs_base r i) in
-    (* + A Σ_{j<i} H_{ji} x_j *)
-    let acc = Array.make n 0.0 in
-    let any = ref false in
-    for j = 0 to i - 1 do
-      let w = Mat.get h_mat j i in
-      if w <> 0.0 then begin
-        any := true;
-        Vec.axpy w cols.(j) acc
-      end
-    done;
-    if !any then Vec.axpy 1.0 (Mat.mul_vec a acc) rhs;
+    let rhs = column_rhs ?conv ~sign:1.0 ~n ~bu:rhs_base ~terms ~apply_e ~cols i in
     let hii = Mat.get h_mat i i in
     let lu =
       match !cache with
@@ -463,8 +544,10 @@ let solve_integral_dense ~h_mat ~one ~e ~a ~bu_int ~x0 =
           cache := Some (hii, f);
           f
     in
-    cols.(i) <- Lu.solve lu rhs
+    cols.(i) <- Lu.solve lu rhs;
+    Option.iter (fun cv -> Fft.Blocked_conv.push cv cols.(i)) conv
   done;
+  record_conv_metrics ~conv ~m;
   let x = Mat.zeros n m in
   Array.iteri (fun i col -> Mat.set_col x i col) cols;
   x

@@ -38,7 +38,31 @@ open Opm_robust
     the maximum residual [‖(Σ_k d_ii E_k − A) x_i − rhs_i‖∞] (equal,
     column-wise, to [‖Σ_k E_k X D_k − A X − BU‖∞]), the worst condition
     estimate, and the fallback events taken — collection never changes
-    the result. *)
+    the result.
+
+    {2 Fast history convolution}
+
+    The per-column history term [Σ_{j<i} d^{(k)}_{ji} x_j] is the
+    [O(n·m²)] hot path. On uniform grids every [D_k] is upper-triangular
+    {e Toeplitz} ([d_{j,j+l}] depends only on the lag [l]), so the
+    history is a causal convolution of the first-row coefficients with
+    the solved-column sequence. Passing [?toeplitz] (one first-row array
+    per term) routes it through {!Opm_numkit.Fft.Blocked_conv} —
+    [O(n·m·log² m)] — instead of the naive scan. The FFT reassociates
+    the summation: results agree with the naive path to ≤ 1e-10
+    relative, not bit-identically. {!fft_rhs_enabled} gates the fast
+    path globally ([OPM_NO_FFT_RHS], the CLI's [--no-fft-rhs]);
+    callers omitting [?toeplitz] (adaptive grids) are unaffected either
+    way. *)
+
+val fft_rhs_enabled : unit -> bool
+(** Whether the FFT Toeplitz history path may be used. Defaults to
+    [true] unless the environment variable [OPM_NO_FFT_RHS] is set to a
+    non-empty value other than ["0"]. *)
+
+val set_fft_rhs_enabled : bool -> unit
+(** Override the switch for the rest of the process (takes precedence
+    over the environment). *)
 
 type dense_block
 (** A factorised diagonal block of the dense backend (pencil matrix +
@@ -93,6 +117,7 @@ val solve_dense :
   ?cond_limit:float ->
   ?fcache:(float list, dense_block) Factor_cache.t ->
   ?key_salt:float list ->
+  ?toeplitz:float array list ->
   terms:(Mat.t * Mat.t) list ->
   a:Mat.t ->
   bu:Mat.t ->
@@ -107,13 +132,22 @@ val solve_dense :
     windowed streaming driver) factorise once; lookups are keyed
     [key_salt @ diagonal coefficients] — pass the term orders and step
     in [key_salt] whenever the cache outlives one call (see
-    {!Factor_cache}). *)
+    {!Factor_cache}).
+
+    [?toeplitz] asserts that each [D_k] is upper-triangular Toeplitz and
+    supplies its first row (length [m], one array per term, same order
+    as [terms]); the history term then takes the FFT fast path when
+    {!fft_rhs_enabled} and the horizon is long enough to amortise it
+    ([m >= 256] — below the measured crossover the naive scan is kept,
+    bit-identically). Raises [Invalid_argument] when the list length
+    or row lengths disagree with [terms]/[m]. *)
 
 val solve_sparse :
   ?health:Health.t ->
   ?cond_limit:float ->
   ?fcache:(float list, sparse_block) Factor_cache.t ->
   ?key_salt:float list ->
+  ?toeplitz:float array list ->
   terms:(Csr.t * Mat.t) list ->
   a:Csr.t ->
   bu:Mat.t ->
@@ -177,12 +211,15 @@ val solve_linear_sparse :
     differentiation matrix does not exist (Legendre). *)
 
 val solve_integral_dense :
+  ?toeplitz:float array list ->
   h_mat:Mat.t -> one:Vec.t -> e:Mat.t -> a:Mat.t -> bu_int:Mat.t ->
-  x0:Vec.t -> Mat.t
+  x0:Vec.t -> unit -> Mat.t
 (** Column-by-column solve of the integral form; requires [h_mat] upper
     triangular (block pulses). [bu_int] is [B·U·H] ([n×m]); [one] the
     constant-1 coefficients; each diagonal block is
-    [(E − H_{ii}·A)]. *)
+    [(E − H_{ii}·A)]. [?toeplitz] (a singleton list carrying [H]'s first
+    row) engages the same FFT history fast path as {!solve_dense} —
+    valid on uniform grids, where [H] is Toeplitz. *)
 
 val solve_integral_kron :
   h_mat:Mat.t -> one:Vec.t -> e:Mat.t -> a:Mat.t -> bu_int:Mat.t ->

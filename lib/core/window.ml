@@ -206,6 +206,32 @@ let solve ?(backend = `Auto) ?health ?memory_len ?on_window ~window:w ~grid
         term_data
     in
     let d_full = d_win w in
+    (* within-window D blocks are Toeplitz by construction (first row
+       scale·ρ_α), so each per-window engine call can take the FFT
+       history fast path — restricted, like Opm.uniform_toeplitz, to
+       non-growing kernels (α ≤ 1): for α > 1 the alternating growing
+       ρ_α terms only stay accurate under the naive scan's pairwise
+       cancellation order *)
+    let fft_safe =
+      List.for_all (fun { Multi_term.alpha; _ } -> alpha <= 1.0) terms
+    in
+    let t_win wlen =
+      if fft_safe && Engine.fft_rhs_enabled () then
+        Some
+          (List.map
+             (fun ti -> Array.init wlen (fun l -> ti.scale *. ti.rho_full.(l)))
+             term_data)
+      else None
+    in
+    let t_full = t_win w in
+    let ilog2 v =
+      let r = ref 0 and v = ref v in
+      while !v > 1 do
+        incr r;
+        v := !v lsr 1
+      done;
+      !r
+    in
     let dense_coeffs =
       lazy (List.map (fun { Multi_term.coeff; _ } -> Csr.to_dense coeff) terms)
     in
@@ -254,20 +280,64 @@ let solve ?(backend = `Auto) ?health ?memory_len ?on_window ~window:w ~grid
                 (* tail correction T_l = scale · Σ_b ρ_β(b) U(t−b),
                    truncated to transformed columns ≥ j0; β = 0 terms
                    collapse to T_l = scale · u_l — exact, no tail *)
+                (* the pre-window part Σ_{tt=j0}^{s−1} ρ_β(t−tt)·y(tt)
+                   is a middle product: the slice [p_len, p_len+wlen) of
+                   the convolution of the ring contents y[j0, s) with
+                   the ρ_β prefix. Above a flop threshold (naive is
+                   wlen·p_len axpys per row vs two length-fsize
+                   transforms) it goes through the shared FFT kernels;
+                   the in-window part (at most wlen lags) stays naive
+                   either way *)
+                let p_len = s - j0 in
+                let pre =
+                  if ti.beta = 0.0 || p_len = 0 then None
+                  else begin
+                    let fsize = Fft.next_power_of_two (p_len + wlen) in
+                    if
+                      Engine.fft_rhs_enabled ()
+                      && wlen * p_len >= 4 * fsize * (ilog2 fsize + 1)
+                    then begin
+                      let klen =
+                        min (Array.length ti.rho_beta) (p_len + wlen)
+                      in
+                      let kernel = Array.sub ti.rho_beta 0 klen in
+                      let ys =
+                        Array.init n (fun r ->
+                            Array.init p_len (fun a ->
+                                ti.yring.((j0 + a) mod ti.yr).(r)))
+                      in
+                      Some (Fft.conv_real_many ys kernel)
+                    end
+                    else None
+                  end
+                in
                 for l = 0 to wlen - 1 do
                   let t = s + l in
                   let v = Array.make n 0.0 in
-                  if ti.beta = 0.0 then Vec.axpy ti.scale u.(l) v
-                  else
-                    for tt = j0 to t do
-                      let c = ti.scale *. ti.rho_beta.(t - tt) in
-                      if c <> 0.0 then
-                        let uv =
-                          if tt >= s then u.(tt - s)
-                          else ti.yring.(tt mod ti.yr)
-                        in
-                        Vec.axpy c uv v
-                    done;
+                  (if ti.beta = 0.0 then Vec.axpy ti.scale u.(l) v
+                   else
+                     match pre with
+                     | Some cv ->
+                         let idx = p_len + l in
+                         for r = 0 to n - 1 do
+                           let c = cv.(r) in
+                           if idx < Array.length c then
+                             v.(r) <- ti.scale *. c.(idx)
+                         done;
+                         for tt = s to t do
+                           let c = ti.scale *. ti.rho_beta.(t - tt) in
+                           if c <> 0.0 then Vec.axpy c u.(tt - s) v
+                         done
+                     | None ->
+                         for tt = j0 to t do
+                           let c = ti.scale *. ti.rho_beta.(t - tt) in
+                           if c <> 0.0 then
+                             let uv =
+                               if tt >= s then u.(tt - s)
+                               else ti.yring.(tt mod ti.yr)
+                             in
+                             Vec.axpy c uv v
+                         done);
                   let ev = Csr.mul_vec ti.coeff v in
                   for r = 0 to n - 1 do
                     Mat.update bu_win r l (fun x -> x -. ev.(r))
@@ -276,17 +346,18 @@ let solve ?(backend = `Auto) ?health ?memory_len ?on_window ~window:w ~grid
               term_data;
           let dt_pre = Unix.gettimeofday () -. t0 in
           let d = if wlen = w then d_full else d_win wlen in
+          let toeplitz = if wlen = w then t_full else t_win wlen in
           let x_win =
             match backend with
             | `Sparse ->
-                Engine.solve_sparse ?health ~fcache:fc_s ~key_salt
+                Engine.solve_sparse ?health ~fcache:fc_s ~key_salt ?toeplitz
                   ~terms:
                     (List.map2
                        (fun { Multi_term.coeff; _ } dm -> (coeff, dm))
                        terms d)
                   ~a:sys.Multi_term.a ~bu:bu_win ()
             | `Dense ->
-                Engine.solve_dense ?health ~fcache:fc_d ~key_salt
+                Engine.solve_dense ?health ~fcache:fc_d ~key_salt ?toeplitz
                   ~terms:(List.map2 (fun e dm -> (e, dm)) (Lazy.force dense_coeffs) d)
                   ~a:(Lazy.force a_dense) ~bu:bu_win ()
           in

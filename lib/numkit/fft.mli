@@ -25,3 +25,63 @@ val frequencies : int -> float -> float array
     the DFT bin layout for [n] samples spaced [dt] apart: bins
     [0 … n/2] map to [2πk/(n·dt)] and the upper bins to the negative
     frequencies [2π(k−n)/(n·dt)]. *)
+
+val next_power_of_two : int -> int
+(** Smallest power of two [>= max 1 n]. *)
+
+val conv_real : float array -> float array -> float array
+(** [conv_real a b] is the full linear convolution of two real signals,
+    [c.(d) = Σ_j a.(j)·b.(d−j)], length [|a| + |b| − 1] (or [[||]] when
+    either input is empty). Computed via power-of-two–padded split-format
+    FFTs: O((|a|+|b|) log (|a|+|b|)). *)
+
+val conv_real_many : float array array -> float array -> float array array
+(** [conv_real_many xs kernel] convolves each row of [xs] (all rows the
+    same length) with the shared real [kernel], amortising the kernel
+    transform and packing row pairs into single complex transforms.
+    Row [r] of the result is [conv_real xs.(r) kernel]. *)
+
+(** Blocked online ("relaxed") convolution for causal history sums.
+
+    Computes [y(i) = Σ_{l≥1} k(l)·x(i−l)] online, where column [x(i)]
+    only becomes known {e after} [y(i)] has been consumed (the OPM solver
+    uses the history term to produce the next column). Lags below [base]
+    are summed naively at query time; lags in [[B, 2B)] for each dyadic
+    block size [B = base·2^ℓ] are batch-convolved by FFT whenever the
+    push count reaches a multiple of [B], into a per-column accumulator.
+    Work is O(m log² m) per row per kernel over the whole horizon.
+
+    FFT reassociates the summation, so results match the naive sum to
+    roundoff (≤ 1e-10 relative in practice), not bit-identically. *)
+module Blocked_conv : sig
+  type t
+
+  val create :
+    ?base:int -> kernels:float array array -> rows:int -> m:int -> unit -> t
+  (** [create ~kernels ~rows ~m ()] prepares a convolver for [rows]
+      state rows over an [m]-column horizon. [kernels.(k).(l)] is the
+      lag-[l] coefficient of term [k] (lag 0 is never consumed — history
+      is strictly causal). [base] (default 32) is the naive-tail width
+      and the smallest FFT block size; it must be a power of two ≥ 2.
+      Kernel spectra for every dyadic level are precomputed here. *)
+
+  val push : t -> float array -> unit
+  (** Append the next column (length [rows]); raises [Invalid_argument]
+      past the horizon. Triggers block convolutions at multiples of the
+      block sizes (row pairs share one forward/inverse transform; the
+      row-pair loop is dispatched over [Opm_parallel.Pool] above a flop
+      threshold, and flushes run under a ["rhs_conv"] trace span). *)
+
+  val history : t -> term:int -> int -> float array
+  (** [history t ~term i] is the length-[rows] vector
+      [Σ_{1 ≤ l ≤ i} kernels.(term).(l)·x(i−l)] — the accumulated block
+      contributions plus the short naive tail. Requires [i <= pushed t];
+      typically called at [i = pushed t], just before solving column
+      [i]. *)
+
+  val pushed : t -> int
+  (** Columns pushed so far. *)
+
+  val blocks : t -> int
+  (** FFT block convolutions performed so far (observability). *)
+end

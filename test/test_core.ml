@@ -180,6 +180,54 @@ let test_linear_fast_path_equals_generic () =
         (Mat.max_abs_diff x_sparse x_fast) ~tol:1e-9)
     [ Grid.uniform ~t_end:2.0 ~m:12; Grid.adaptive [| 0.2; 0.5; 0.1; 0.7; 0.3 |] ]
 
+(* regression: the order-1 fast path now skips the E·salt coupling
+   matvec whenever the running alternating sum is exactly zero (column
+   0, and any column where the sum cancels to ±0.0 in every entry).
+   The skip must be invisible: a straight-line replica of the historical
+   recurrence — same pencil, same factorisation, same operation order,
+   coupling matvec applied *unconditionally* — must produce bit-identical
+   columns, because E·0 = 0 and adding ±0.0 never changes a float. *)
+let test_linear_salt_skip_bit_identity () =
+  let n = 6 in
+  let e, a = random_system 77 n in
+  let grid = Grid.uniform ~t_end:1.5 ~m:40 in
+  let steps = Grid.steps grid in
+  let m = Array.length steps in
+  let st = Random.State.make [| 21 |] in
+  let bu = Mat.init n m (fun _ _ -> Random.State.float st 2.0 -. 1.0) in
+  let reference =
+    let x = Mat.zeros n m in
+    let salt = Array.make n 0.0 in
+    let lu = ref None in
+    for i = 0 to m - 1 do
+      let h = steps.(i) in
+      let rhs = Array.init n (fun r -> Mat.get bu r i) in
+      let sign = if i land 1 = 1 then -1.0 else 1.0 in
+      let coupling = Mat.mul_vec e salt in
+      Vec.axpy (-4.0 /. h *. sign) coupling rhs;
+      let f =
+        match !lu with
+        | Some f -> f
+        | None ->
+            let f = Lu.factor (Mat.sub (Mat.scale (2.0 /. h) e) a) in
+            lu := Some f;
+            f
+      in
+      let xi = Lu.solve f rhs in
+      Mat.set_col x i xi;
+      Vec.axpy sign xi salt
+    done;
+    x
+  in
+  let fast = Engine.solve_linear_dense ~steps ~e ~a ~bu () in
+  for i = 0 to m - 1 do
+    for r = 0 to n - 1 do
+      if Mat.get fast r i <> Mat.get reference r i then
+        Alcotest.failf "column %d row %d: %.17g <> %.17g (not bit-identical)"
+          i r (Mat.get fast r i) (Mat.get reference r i)
+    done
+  done
+
 (* regression: the step-size → factorisation cache was an unbounded
    assoc list keyed on the exact float step, so a fully-adaptive grid
    both scanned the whole list per column (O(m²)) and grew without
@@ -626,6 +674,7 @@ let () =
           t "multi-term vs kron" test_engine_multi_term_kron;
           t "residual of matrix equation" test_engine_residual;
           t "linear fast path" test_linear_fast_path_equals_generic;
+          t "salt skip bit-identical" test_linear_salt_skip_bit_identity;
           t "factor cache bounded" test_factor_cache_bounded;
           t "fast path on 512-step adaptive grid" test_linear_fast_path_adaptive_512;
           t "dimension check" test_engine_dimension_check;
