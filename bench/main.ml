@@ -12,6 +12,7 @@
      dune exec bench/main.exe -- parallel-sweep [--domains N]
      dune exec bench/main.exe -- window-scaling
      dune exec bench/main.exe -- rhs-conv     # FFT history crossover
+     dune exec bench/main.exe -- compiled-qps # factor-once serving throughput
      dune exec bench/main.exe -- micro        # bechamel micro-benchmarks
 
    [--domains N] (any command) sets the domain-pool size, like
@@ -813,6 +814,134 @@ let rhs_conv () =
      pulling away ~O(m/log² m); max rel Δ stays at roundoff, far inside\n\
      the 1e-10 differential contract."
 
+(* ------------------------------------------------------------------ *)
+(* compiled-qps — factor-once / query-many serving throughput: a fixed
+   fractional plant queried with N different source vectors, cold
+   (full Opm.simulate_fractional per query: basis expansion, D^α
+   build, FFT plan, pencil factorisation every time) vs compiled
+   (Compiled_model.compile once, then per-query solves that touch only
+   the input-dependent RHS). The two paths must agree bit for bit, and
+   the compiled batch must perform exactly one pencil factorisation.
+   Emitted as BENCH_serve.json (opm-bench-v1; rows carry
+   queries_per_s instead of error_db).                                 *)
+
+let compiled_qps () =
+  let n = if !smoke_mode then 24 else 96 in
+  let m = if !smoke_mode then 256 else 4096 in
+  let queries = 8 in
+  let alpha = 0.5 in
+  header
+    (Printf.sprintf
+       "compiled-qps — fixed plant (n = %d, α = %g), %d queries at m = %d" n
+       alpha queries m);
+  let sys = Descriptor.random_stable ~seed:7 ~n ~p:2 ~q:2 () in
+  let t_end = 1.0 in
+  let grid = Grid.uniform ~t_end ~m in
+  (* the sweep workload: same plant, different excitations per query *)
+  let sources k =
+    [|
+      Source.Sine
+        {
+          amplitude = 1.0;
+          freq_hz = 1.0 +. float_of_int k;
+          phase = 0.1 *. float_of_int k;
+          offset = 0.0;
+        };
+      Source.Step
+        { amplitude = 0.5 +. (0.1 *. float_of_int k); delay = t_end /. 8.0 };
+    |]
+  in
+  (* cold: the historical one-shot path, everything rebuilt per query *)
+  let t_cold, cold =
+    wall (fun () ->
+        Array.init queries (fun k ->
+            Opm.simulate_fractional ~grid ~alpha sys (sources k)))
+  in
+  (* compiled: plant-dependent work once, input-dependent work per query;
+     count pencil factorisations across compile + the whole batch *)
+  let metrics_were_on = Metrics.enabled () in
+  Metrics.set_enabled true;
+  Metrics.reset ();
+  let t_compile, model =
+    wall (fun () -> Compiled_model.compile_fractional ~grid ~alpha sys)
+  in
+  let t_serve, served =
+    wall (fun () ->
+        Array.init queries (fun k -> Compiled_model.solve model (sources k)))
+  in
+  let factorisations =
+    Metrics.counter_value (Metrics.counter "lu.factor")
+    + Metrics.counter_value (Metrics.counter "slu.factor")
+  in
+  if not metrics_were_on then Metrics.set_enabled false;
+  let bits_equal a b =
+    let ra, ca = Mat.dims a and rb, cb = Mat.dims b in
+    ra = rb && ca = cb
+    &&
+    let ok = ref true in
+    for i = 0 to ra - 1 do
+      for j = 0 to ca - 1 do
+        if
+          not
+            (Int64.equal
+               (Int64.bits_of_float (Mat.get a i j))
+               (Int64.bits_of_float (Mat.get b i j)))
+        then ok := false
+      done
+    done;
+    !ok
+  in
+  let identical =
+    Array.for_all2
+      (fun (c : Sim_result.t) (s : Sim_result.t) ->
+        bits_equal c.Sim_result.x s.Sim_result.x)
+      cold served
+  in
+  let qps_cold = float_of_int queries /. t_cold in
+  let qps_serve = float_of_int queries /. t_serve in
+  let qps_total = float_of_int queries /. (t_compile +. t_serve) in
+  let row method_ wall_s qps =
+    Printf.printf "%-16s %4d %6d %12s %14.1f q/s\n" method_ n m
+      (pp_time wall_s) qps;
+    if !json_mode then
+      json_rows :=
+        Json.Obj
+          [
+            ("method", Json.String method_);
+            ("n", Json.Int n);
+            ("m", Json.Int m);
+            ("wall_s", Json.Float wall_s);
+            ("queries_per_s", Json.Float qps);
+          ]
+        :: !json_rows
+  in
+  Printf.printf "%-16s %4s %6s %12s %16s\n" "method" "n" "m" "wall"
+    "throughput";
+  rule ();
+  row "cold" t_cold qps_cold;
+  row "compiled-serve" t_serve qps_serve;
+  row "compiled-total" (t_compile +. t_serve) qps_total;
+  rule ();
+  Printf.printf
+    "compile %s; %d queries; %d pencil factorisation(s) across compile + \
+     batch\n"
+    (pp_time t_compile) queries factorisations;
+  Printf.printf "bit-identical cold vs compiled: %s\n"
+    (if identical then "HOLDS" else "VIOLATED");
+  let speedup = qps_serve /. qps_cold in
+  Printf.printf "serving speedup: %.1fx %s\n" speedup
+    (if !smoke_mode then "(smoke sizes; the 5x target applies to the full run)"
+     else if speedup >= 5.0 then "(>= 5x target: HOLDS)"
+     else "(>= 5x target: VIOLATED)");
+  flush_json ~table:"compiled-qps" ~default_file:"BENCH_serve.json";
+  if not identical then exit 1;
+  if factorisations <> 1 then begin
+    Printf.eprintf
+      "compiled-qps: expected exactly 1 factorisation, measured %d\n"
+      factorisations;
+    exit 1
+  end
+
 let micro () =
   header "Bechamel micro-benchmarks (one per table)";
   let open Bechamel in
@@ -956,6 +1085,7 @@ let () =
   | _ :: "obs-overhead" :: _ -> obs_overhead ()
   | _ :: "window-scaling" :: _ -> window_scaling ()
   | _ :: "rhs-conv" :: _ -> rhs_conv ()
+  | _ :: "compiled-qps" :: _ -> compiled_qps ()
   | _ :: "micro" :: _ -> micro ()
   | _ :: [] | _ :: "all" :: _ ->
       table1 ();
@@ -969,12 +1099,14 @@ let () =
       obs_overhead ();
       window_scaling ();
       rhs_conv ();
+      compiled_qps ();
       micro ()
   | _ :: cmd :: _ ->
       Printf.eprintf
         "unknown command %s (try table1, table2, ablation-basis, \
          ablation-adaptive, ablation-kron, convergence, fft-sweep, \
-         parallel-sweep, obs-overhead, window-scaling, rhs-conv, micro, all)\n"
+         parallel-sweep, obs-overhead, window-scaling, rhs-conv, \
+         compiled-qps, micro, all)\n"
         cmd;
       exit 1
   | [] -> assert false

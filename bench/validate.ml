@@ -9,6 +9,9 @@
      and [error_db] — NaN/Inf serialise as [null] and therefore fail
      the numeric check, which is how a poisoned benchmark run is caught
      in CI;
+   - the serving table ("compiled-qps", BENCH_serve.json) replaces
+     [error_db] with [queries_per_s], which must be finite and
+     strictly positive;
    - table-specific contracts: in the "rhs-conv" table every "rhs-fft"
      row must satisfy [error_db <= -200.0] (the 1e-10 relative
      agreement contract between the FFT and naive history paths).
@@ -76,12 +79,19 @@ let validate file =
               name
       in
       if finite "wall_s" < 0.0 then fail "row %d: negative wall_s" i;
-      let error_db = finite "error_db" in
-      (* accuracy contract: FFT history path within 1e-10 relative of
-         the naive scan (1e-10 ↔ −200 dB) *)
-      if table = "rhs-conv" && method_ = "rhs-fft" && error_db > -200.0 then
-        fail "row %d: rhs-fft error_db %.1f exceeds the -200 dB contract" i
-          error_db)
+      if table = "compiled-qps" then begin
+        (* serving rows carry a throughput instead of an accuracy cell *)
+        if finite "queries_per_s" <= 0.0 then
+          fail "row %d: queries_per_s is not strictly positive" i
+      end
+      else begin
+        let error_db = finite "error_db" in
+        (* accuracy contract: FFT history path within 1e-10 relative of
+           the naive scan (1e-10 ↔ −200 dB) *)
+        if table = "rhs-conv" && method_ = "rhs-fft" && error_db > -200.0 then
+          fail "row %d: rhs-fft error_db %.1f exceeds the -200 dB contract" i
+            error_db
+      end)
     rows;
   List.length rows
 

@@ -14,7 +14,16 @@ open Opm_circuit
 open Opm_transient
 open Opm_analysis
 
-type method_ = Opm_method | Be | Trap | Gear | Fft | Gl | Opm_adaptive | Exact
+type method_ =
+  | Opm_method
+  | Be
+  | Trap
+  | Gear
+  | Fft
+  | Gl
+  | Opm_adaptive
+  | Exact
+  | Integral
 
 let method_conv =
   let parse = function
@@ -26,6 +35,7 @@ let method_conv =
     | "fft" -> Ok Fft
     | "gl" | "grunwald" -> Ok Gl
     | "exact" -> Ok Exact
+    | "integral" | "opm-integral" -> Ok Integral
     | s -> Error (`Msg (Printf.sprintf "unknown method %S" s))
   in
   let print ppf m =
@@ -38,11 +48,12 @@ let method_conv =
       | Gear -> "gear"
       | Fft -> "fft"
       | Gl -> "gl"
-      | Exact -> "exact")
+      | Exact -> "exact"
+      | Integral -> "integral")
   in
   Arg.conv (parse, print)
 
-type mode = Tran | Ac_mode | Dc_mode | Poles_mode
+type mode = Tran | Ac_mode | Dc_mode | Poles_mode | Step_mode | Impulse_mode
 
 let mode_conv =
   let parse = function
@@ -50,6 +61,8 @@ let mode_conv =
     | "ac" -> Ok Ac_mode
     | "dc" -> Ok Dc_mode
     | "poles" -> Ok Poles_mode
+    | "step-response" -> Ok Step_mode
+    | "impulse-response" -> Ok Impulse_mode
     | s -> Error (`Msg (Printf.sprintf "unknown mode %S" s))
   in
   let print ppf m =
@@ -58,7 +71,9 @@ let mode_conv =
       | Tran -> "tran"
       | Ac_mode -> "ac"
       | Dc_mode -> "dc"
-      | Poles_mode -> "poles")
+      | Poles_mode -> "poles"
+      | Step_mode -> "step-response"
+      | Impulse_mode -> "impulse-response")
   in
   Arg.conv (parse, print)
 
@@ -67,7 +82,12 @@ let netlist_arg =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"NETLIST" ~doc)
 
 let mode_arg =
-  let doc = "Analysis mode: tran (default), ac, dc, poles." in
+  let doc =
+    "Analysis mode: tran (default), ac, dc, poles, step-response, \
+     impulse-response. The response modes compile the plant once and \
+     answer one query per input, exporting an \
+     OPOM-style response-model CSV (one column per output × input pair)."
+  in
   Arg.(value & opt mode_conv Tran & info [ "mode" ] ~docv:"MODE" ~doc)
 
 let t_end_arg =
@@ -80,9 +100,10 @@ let steps_arg =
 
 let method_arg =
   let doc =
-    "Transient method: opm, opm-adaptive, be (backward Euler), trap \
-     (trapezoidal), gear (BDF2), fft (frequency domain), gl \
-     (Grünwald–Letnikov), exact (matrix-exponential reference; ODE only)."
+    "Transient method: opm, opm-adaptive, integral (integral-form OPM; \
+     ODE only), be (backward Euler), trap (trapezoidal), gear (BDF2), \
+     fft (frequency domain), gl (Grünwald–Letnikov), exact \
+     (matrix-exponential reference; ODE only)."
   in
   Arg.(value & opt method_conv Opm_method & info [ "method" ] ~docv:"METHOD" ~doc)
 
@@ -113,6 +134,17 @@ let memory_len_arg =
      exact. Integer-order history is always carried exactly."
   in
   Arg.(value & opt (some int) None & info [ "memory-len" ] ~docv:"K" ~doc)
+
+let compile_arg =
+  let doc =
+    "Route the opm transient through an explicit compiled model: \
+     compile the plant once (operational matrices, FFT plan, pinned \
+     pencil factorisation), then answer the run as a single query. \
+     Output is bit-identical to the direct opm run; combine with \
+     $(b,--metrics) to see the compiled.queries / compiled.factor_reuse \
+     counters."
+  in
+  Arg.(value & flag & info [ "compile" ] ~doc)
 
 let fstart_arg =
   let doc = "AC sweep start frequency (Hz)." in
@@ -196,7 +228,8 @@ let with_state_names names f =
     Opm_error.raise_
       (Opm_error.Singular_pencil { r with name = Some names.(step) })
 
-let run_tran ?health ?window ?memory_len net outputs t_end steps method_ tol =
+let run_tran ?health ?window ?memory_len ~compile net outputs t_end steps
+    method_ tol =
   let t_end =
     match t_end with
     | Some t -> t
@@ -205,15 +238,35 @@ let run_tran ?health ?window ?memory_len net outputs t_end steps method_ tol =
   (match (window, method_) with
   | Some _, (Be | Trap | Gear | Fft | Gl | Exact | Opm_adaptive) ->
       Printf.eprintf
-        "opm_sim: warning: --window only applies to the opm method; ignored\n%!"
+        "opm_sim: warning: --window only applies to the opm methods; ignored\n%!"
   | _ -> ());
+  (match method_ with
+  | _ when not compile -> ()
+  | Opm_method -> ()
+  | _ ->
+      Printf.eprintf
+        "opm_sim: warning: --compile only applies to the opm method; ignored\n%!");
   let waveform =
     match method_ with
+    | Opm_method when compile ->
+        let mt, srcs = Mna.stamp ?outputs net in
+        let grid = Grid.uniform ~t_end ~m:steps in
+        with_state_names mt.Multi_term.state_names (fun () ->
+            let model =
+              Compiled_model.compile ?health ?window ?memory_len ~grid mt
+            in
+            (Compiled_model.solve ?health model srcs).Sim_result.outputs)
     | Opm_method ->
         let mt, srcs = Mna.stamp ?outputs net in
         let grid = Grid.uniform ~t_end ~m:steps in
         with_state_names mt.Multi_term.state_names (fun () ->
             (Opm.simulate_multi_term ?health ?window ?memory_len ~grid mt srcs)
+              .Sim_result.outputs)
+    | Integral ->
+        let sys, srcs = Mna.stamp_linear ?outputs net in
+        let grid = Grid.uniform ~t_end ~m:steps in
+        with_state_names sys.Descriptor.state_names (fun () ->
+            (Opm.simulate_linear_integral ?health ?window ~grid sys srcs)
               .Sim_result.outputs)
     | Opm_adaptive ->
         let sys, srcs = Mna.stamp_linear ?outputs net in
@@ -231,7 +284,8 @@ let run_tran ?health ?window ?memory_len net outputs t_end steps method_ tol =
           match method_ with
           | Be -> Stepper.Backward_euler
           | Trap -> Stepper.Trapezoidal
-          | Gear | Opm_method | Opm_adaptive | Fft | Gl | Exact -> Stepper.Gear2
+          | Gear | Opm_method | Opm_adaptive | Fft | Gl | Exact | Integral ->
+              Stepper.Gear2
         in
         let sys, srcs = Mna.stamp_linear ?outputs net in
         Stepper.solve ~scheme ~h:(t_end /. float_of_int steps) ~t_end sys srcs
@@ -332,11 +386,75 @@ let run_poles net =
       Array.iter pp_pole poles;
       Printf.printf "stable: %b\n" (Poles.is_stable ~shift:(-1.0) sys)
 
+(* OPOM-style response-model export: compile the plant once, then
+   answer one query per input — a unit step at t = 0, or the BPF
+   impulse (mass 1/h concentrated in the first interval, fed through
+   the raw-coefficient query).  The CSV has one column per
+   output × input pair, which is exactly the step-response model
+   matrix an OPOM/MPC layer consumes; every column reuses the single
+   pinned pencil factorisation made at compile time. *)
+let run_response ~kind net outputs t_end steps =
+  let module Mat = Opm_numkit.Mat in
+  let t_end =
+    match t_end with
+    | Some t -> t
+    | None -> failwith "response analysis needs --tend"
+  in
+  let mt, _ = Mna.stamp ?outputs net in
+  let grid = Grid.uniform ~t_end ~m:steps in
+  let p = mt.Multi_term.b.Mat.cols in
+  if p = 0 then failwith "response analysis needs at least one source";
+  with_state_names mt.Multi_term.state_names @@ fun () ->
+  let model = Compiled_model.compile ~grid mt in
+  let q = Array.length mt.Multi_term.output_names in
+  let h = t_end /. float_of_int steps in
+  (* responses.(i).(o) is output o's trace under input i's excitation *)
+  let responses =
+    Array.init p (fun i ->
+        match kind with
+        | `Step ->
+            let srcs =
+              Array.init p (fun j ->
+                  if i = j then
+                    Opm_signal.Source.Step { amplitude = 1.0; delay = 0.0 }
+                  else Opm_signal.Source.Dc 0.0)
+            in
+            let r = Compiled_model.solve model srcs in
+            Array.init q (Opm_signal.Waveform.channel r.Sim_result.outputs)
+        | `Impulse ->
+            let u =
+              Mat.init p steps (fun r c ->
+                  if r = i && c = 0 then 1.0 /. h else 0.0)
+            in
+            let y = Mat.mul mt.Multi_term.c (Compiled_model.solve_coeffs model u) in
+            Array.init q (fun o -> Array.init steps (Mat.get y o)))
+  in
+  let times = Opm_signal.Waveform.bpf_grid ~t_end ~m:steps in
+  print_string "time";
+  for i = 0 to p - 1 do
+    Array.iter
+      (fun name -> Printf.printf ",%s_u%d" name i)
+      mt.Multi_term.output_names
+  done;
+  print_newline ();
+  Array.iteri
+    (fun k t ->
+      Printf.printf "%.9g" t;
+      for i = 0 to p - 1 do
+        for o = 0 to q - 1 do
+          Printf.printf ",%.9g" responses.(i).(o).(k)
+        done
+      done;
+      print_newline ())
+    times
+
 let mode_name = function
   | Tran -> "tran"
   | Ac_mode -> "ac"
   | Dc_mode -> "dc"
   | Poles_mode -> "poles"
+  | Step_mode -> "step-response"
+  | Impulse_mode -> "impulse-response"
 
 (* Flush the requested observability outputs after a run: metrics dump
    and span profile to stderr, Chrome trace and merged report to
@@ -358,7 +476,8 @@ let emit_observability ~metrics ~trace ~report ~run_params health =
   | None -> ()
 
 let run netlist_path mode t_end steps method_ probes tol window memory_len
-    fstart fstop points no_fft_rhs domains check strict metrics trace report =
+    compile fstart fstop points no_fft_rhs domains check strict metrics trace
+    report =
   try
     if no_fft_rhs then Engine.set_fft_rhs_enabled false;
     (match domains with
@@ -381,10 +500,14 @@ let run netlist_path mode t_end steps method_ probes tol window memory_len
       else None
     in
     (match mode with
-    | Tran -> run_tran ?health ?window ?memory_len net outputs t_end steps method_ tol
+    | Tran ->
+        run_tran ?health ?window ?memory_len ~compile net outputs t_end steps
+          method_ tol
     | Ac_mode -> run_ac net outputs fstart fstop points
     | Dc_mode -> run_dc net outputs
-    | Poles_mode -> run_poles net);
+    | Poles_mode -> run_poles net
+    | Step_mode -> run_response ~kind:`Step net outputs t_end steps
+    | Impulse_mode -> run_response ~kind:`Impulse net outputs t_end steps);
     let run_params =
       Opm_obs.Json.
         [
@@ -429,9 +552,9 @@ let cmd =
   Cmd.v info
     Term.(
       const run $ netlist_arg $ mode_arg $ t_end_arg $ steps_arg $ method_arg
-      $ probes_arg $ tol_arg $ window_arg $ memory_len_arg $ fstart_arg
-      $ fstop_arg $ points_arg $ no_fft_rhs_arg $ domains_arg $ check_arg
-      $ strict_arg $ metrics_arg $ trace_arg $ report_arg)
+      $ probes_arg $ tol_arg $ window_arg $ memory_len_arg $ compile_arg
+      $ fstart_arg $ fstop_arg $ points_arg $ no_fft_rhs_arg $ domains_arg
+      $ check_arg $ strict_arg $ metrics_arg $ trace_arg $ report_arg)
 
 let () =
   Logs.set_reporter (Logs.format_reporter ());

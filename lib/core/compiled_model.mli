@@ -1,0 +1,138 @@
+open Opm_numkit
+open Opm_basis
+open Opm_signal
+
+(** Factor-once / query-many compiled models.
+
+    [Opm.simulate_*] re-expands the basis, rebuilds [D^α], re-plans the
+    FFT convolver and re-factors the pencil on every call — yet none of
+    those depend on the sources. The MPC/sweep workload class (OPOM-style
+    step-response models, batched serving) solves the {e same} plant
+    thousands of times with different inputs, so this module splits the
+    work at exactly that line:
+
+    - {b plant-dependent}, done once in {!compile}: BPF expansion
+      scaffolding, the operational matrices [D^{α_k}] (O(m²) each), the
+      ρ series, the Toeplitz first rows, the
+      {!Opm_numkit.Fft.Blocked_conv} plan state (kernel spectra), and
+      the factored pencil — inserted {e pinned} into an
+      {!Engine.Factor_cache} so the bounded cache can never evict it
+      mid-sweep;
+    - {b input-dependent}, per {!solve} query: project the sources,
+      form [B·U·D^r], and run the engine's column recurrence against
+      the cached factors — zero factorisations, O(n·m·log m) per
+      query.
+
+    A query is bit-identical to the corresponding one-shot
+    [Opm.simulate_*] call (which is itself implemented as
+    compile-then-solve), because the prefactored blocks are built by the
+    same pencil code the engine would run and looked up under the same
+    keys.
+
+    Windowed models delegate queries to {!Window.solve}, sharing the
+    factor caches, the ρ-series cache, and the per-window Toeplitz
+    machinery across windows {e and} queries.
+
+    Queries are sequential: a compiled model carries mutable per-query
+    scratch (the FFT convolver), so one [t] must not be queried from
+    two domains concurrently.
+
+    Observability: [compiled.queries] counts queries,
+    [compiled.factor_reuse] counts pencil lookups served from the
+    model's caches, and each query runs in a ["compiled_solve"] trace
+    span ([compile] in a ["compiled.compile"] span). *)
+
+type backend = [ `Auto | `Dense | `Sparse ]
+
+type t
+
+val compile :
+  ?backend:backend ->
+  ?health:Opm_robust.Health.t ->
+  ?window:int ->
+  ?memory_len:int ->
+  grid:Grid.t ->
+  Multi_term.t ->
+  t
+(** Precompute everything plant-dependent. [?window]/[?memory_len]
+    select the windowed streaming driver for queries (same semantics as
+    {!Opm.simulate_multi_term}; [window ≥ m] degenerates to the global
+    path). [?health] collects fallback events of the compile-time
+    factorisation itself; per-query collection is a {!solve} argument.
+    Raises [Invalid_argument] for [window < 1].
+
+    Adaptive grids compile too — the operational matrices are still
+    amortised — but skip prefactoring and pinning (one pinned entry per
+    distinct step would be unbounded); the first query factors and the
+    bounded cache carries the factors to later queries. *)
+
+val compile_linear :
+  ?backend:backend ->
+  ?health:Opm_robust.Health.t ->
+  ?window:int ->
+  ?memory_len:int ->
+  grid:Grid.t ->
+  Descriptor.t ->
+  t
+(** [compile] of {!Multi_term.of_linear}. *)
+
+val compile_fractional :
+  ?backend:backend ->
+  ?health:Opm_robust.Health.t ->
+  ?window:int ->
+  ?memory_len:int ->
+  grid:Grid.t ->
+  alpha:float ->
+  Descriptor.t ->
+  t
+(** [compile] of {!Multi_term.of_fractional}. *)
+
+val solve :
+  ?health:Opm_robust.Health.t ->
+  ?x0:Vec.t ->
+  t ->
+  Source.t array ->
+  Sim_result.t
+(** One query: project [sources], apply the [x₀] substitution, and run
+    the column recurrence against the compiled state. Bit-identical to
+    the matching one-shot [Opm.simulate_*] call. *)
+
+val solve_coeffs : ?health:Opm_robust.Health.t -> t -> Mat.t -> Mat.t
+(** Raw query: [u] is the [p×m] input-coefficient matrix (already in
+    BPF coordinates — see {!input_coefficients}); applies the input
+    derivative [U·D^r] when the system has one and returns the raw
+    [n×m] state-coefficient matrix (zero initial state, no output
+    projection). The step/impulse-response exporters are one-liners on
+    top of this. *)
+
+val queries : t -> int
+(** Queries answered so far. *)
+
+val grid : t -> Grid.t
+
+val system : t -> Multi_term.t
+
+val backend : t -> [ `Dense | `Sparse ]
+(** The resolved backend ([`Auto] is resolved at compile time). *)
+
+(** {2 Shared OPM helpers}
+
+    Implementation home of helpers re-exported by {!Opm} (this module
+    sits below it in the dependency order). *)
+
+val input_coefficients : grid:Grid.t -> Source.t array -> Mat.t
+
+val bu_matrix :
+  ?deriv:(unit -> Mat.t) -> grid:Grid.t -> Multi_term.t -> Source.t array -> Mat.t
+
+val pick_backend : backend -> int -> [ `Dense | `Sparse ]
+
+val fft_safe_terms : Multi_term.term list -> bool
+
+val uniform_toeplitz :
+  grid:Grid.t ->
+  terms:Multi_term.term list ->
+  ('a * Mat.t) list ->
+  float array list option
+
+val shift_by_x0 : Mat.t -> Vec.t -> Mat.t

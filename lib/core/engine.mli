@@ -100,24 +100,48 @@ module Factor_cache : sig
   val create : ?capacity:int -> unit -> ('k, 'f) t
   (** Raises [Invalid_argument] if [capacity < 1]. *)
 
-  val find_or_add : ('k, 'f) t -> 'k -> ('k -> 'f) -> 'f
+  val find_or_add : ?pin:bool -> ('k, 'f) t -> 'k -> ('k -> 'f) -> 'f
   (** [find_or_add c k factor] returns the cached factorisation for key
-      [k], calling [factor k] (and evicting on overflow) on a miss. *)
+      [k], calling [factor k] (and evicting on overflow) on a miss.
+
+      [~pin:true] marks the entry {e pinned}: pinned entries live
+      outside the capacity bound and survive the overflow reset, so a
+      sweep interleaving more than [capacity] other [(α, h)] keys can
+      never evict the hot pencil factor mid-run. Pinning is an upgrade
+      — a key already cached unpinned is migrated. Pinned entries are
+      expected to be few (the hot pencils of live windows / compiled
+      models); they are released only with the cache itself. *)
 
   val length : ('k, 'f) t -> int
-  (** Currently cached entries; always [<= capacity]. *)
+  (** Currently cached entries, pinned included; the unpinned portion
+      is always [<= capacity]. *)
+
+  val pinned_count : ('k, 'f) t -> int
 
   val hits : ('k, 'f) t -> int
+  (** Cache accesses served from the table (pinned or not). The solvers
+      consult the shared cache once per call — consecutive columns are
+      served by a per-call memo — so on uniform grids [hits]/[misses]
+      count {e engine calls}, not columns. *)
 
   val misses : ('k, 'f) t -> int
 end
+
+val fft_rhs_min_m : int
+(** Minimum effective history length (256) below which the naive scan
+    is kept — under the measured crossover the convolver's setup never
+    amortises, and short horizons stay bit-identical to the historical
+    engine. *)
 
 val solve_dense :
   ?health:Health.t ->
   ?cond_limit:float ->
   ?fcache:(float list, dense_block) Factor_cache.t ->
   ?key_salt:float list ->
+  ?pin_factors:bool ->
   ?toeplitz:float array list ->
+  ?history_len:int ->
+  ?conv_reuse:Fft.Blocked_conv.t ->
   terms:(Mat.t * Mat.t) list ->
   a:Mat.t ->
   bu:Mat.t ->
@@ -129,25 +153,36 @@ val solve_dense :
 
     [?fcache] substitutes a caller-owned cross-call cache for the
     per-call one, so repeated solves against the same pencil (the
-    windowed streaming driver) factorise once; lookups are keyed
-    [key_salt @ diagonal coefficients] — pass the term orders and step
-    in [key_salt] whenever the cache outlives one call (see
-    {!Factor_cache}).
+    windowed streaming driver, compiled models) factorise once; lookups
+    are keyed [key_salt @ diagonal coefficients] — pass the term orders
+    and step in [key_salt] whenever the cache outlives one call (see
+    {!Factor_cache}). [?pin_factors] pins the blocks this call inserts
+    or touches in [?fcache], shielding them from capacity eviction.
 
     [?toeplitz] asserts that each [D_k] is upper-triangular Toeplitz and
     supplies its first row (length [m], one array per term, same order
     as [terms]); the history term then takes the FFT fast path when
     {!fft_rhs_enabled} and the horizon is long enough to amortise it
-    ([m >= 256] — below the measured crossover the naive scan is kept,
-    bit-identically). Raises [Invalid_argument] when the list length
-    or row lengths disagree with [terms]/[m]. *)
+    ([>= ]{!fft_rhs_min_m}[ ]— below the measured crossover the naive
+    scan is kept, bit-identically). The gate compares
+    [max m history_len]: a windowed caller solving a long horizon in
+    short blocks passes the {e global} horizon as [?history_len] so the
+    per-window column count does not mask a workload deep enough to
+    amortise the FFT. [?conv_reuse] recycles a previously created
+    convolver of matching shape (its kernel spectra — the plan state —
+    are kept, its data reset); on shape mismatch a fresh one is
+    allocated. Raises [Invalid_argument] when the list length or row
+    lengths disagree with [terms]/[m]. *)
 
 val solve_sparse :
   ?health:Health.t ->
   ?cond_limit:float ->
   ?fcache:(float list, sparse_block) Factor_cache.t ->
   ?key_salt:float list ->
+  ?pin_factors:bool ->
   ?toeplitz:float array list ->
+  ?history_len:int ->
+  ?conv_reuse:Fft.Blocked_conv.t ->
   terms:(Csr.t * Mat.t) list ->
   a:Csr.t ->
   bu:Mat.t ->
@@ -166,6 +201,7 @@ val solve_linear_dense :
   ?health:Health.t ->
   ?cond_limit:float ->
   ?fcache:(float list, dense_block) Factor_cache.t ->
+  ?pin_factors:bool ->
   steps:float array ->
   e:Mat.t ->
   a:Mat.t ->
@@ -189,6 +225,7 @@ val solve_linear_sparse :
   ?health:Health.t ->
   ?cond_limit:float ->
   ?fcache:(float list, sparse_block) Factor_cache.t ->
+  ?pin_factors:bool ->
   steps:float array ->
   e:Csr.t ->
   a:Csr.t ->
@@ -211,7 +248,13 @@ val solve_linear_sparse :
     differentiation matrix does not exist (Legendre). *)
 
 val solve_integral_dense :
+  ?health:Health.t ->
+  ?cond_limit:float ->
+  ?fcache:(float list, dense_block) Factor_cache.t ->
+  ?key_salt:float list ->
+  ?pin_factors:bool ->
   ?toeplitz:float array list ->
+  ?history_len:int ->
   h_mat:Mat.t -> one:Vec.t -> e:Mat.t -> a:Mat.t -> bu_int:Mat.t ->
   x0:Vec.t -> unit -> Mat.t
 (** Column-by-column solve of the integral form; requires [h_mat] upper
@@ -219,7 +262,63 @@ val solve_integral_dense :
     constant-1 coefficients; each diagonal block is
     [(E − H_{ii}·A)]. [?toeplitz] (a singleton list carrying [H]'s first
     row) engages the same FFT history fast path as {!solve_dense} —
-    valid on uniform grids, where [H] is Toeplitz. *)
+    valid on uniform grids, where [H] is Toeplitz. Columns run behind
+    the same fallback cascade as the differential solvers
+    ([?health]/[?cond_limit]), and [?fcache]/[?key_salt]/[?pin_factors]/
+    [?history_len] behave as in {!solve_dense} (the cache key is the
+    diagonal entry [H_{ii}]). *)
+
+val solve_integral_sparse :
+  ?health:Health.t ->
+  ?cond_limit:float ->
+  ?fcache:(float list, sparse_block) Factor_cache.t ->
+  ?key_salt:float list ->
+  ?pin_factors:bool ->
+  ?toeplitz:float array list ->
+  ?history_len:int ->
+  h_mat:Mat.t -> one:Vec.t -> e:Csr.t -> a:Csr.t -> bu_int:Mat.t ->
+  x0:Vec.t -> unit -> Mat.t
+(** Sparse-backend version of {!solve_integral_dense} (diagonal blocks
+    [(E − H_{ii}·A)] in CSR, with the strict-pivoting and sparse→dense
+    escalation rungs). *)
+
+(** {1 Compile-ahead factorisation}
+
+    [prefactor_*] insert — and pin — the diagonal block a subsequent
+    solve against the same cache will look up, using the same pencil
+    builders and the same cache keys, so the query performs zero
+    factorisations and returns bit-identical columns. [~diag] is the
+    per-term diagonal-coefficient list of column 0 ([(2/h)^α·ρ_α(0)]
+    per term on a uniform grid); [~es] the matching [E_k] list; the
+    linear variants key on the step [h], the integral ones on [H]'s
+    diagonal entry [hii]. *)
+
+val prefactor_dense :
+  (float list, dense_block) Factor_cache.t ->
+  key_salt:float list -> diag:float list -> es:Mat.t list -> a:Mat.t -> unit
+
+val prefactor_sparse :
+  ?health:Health.t ->
+  (float list, sparse_block) Factor_cache.t ->
+  key_salt:float list -> diag:float list -> es:Csr.t list -> a:Csr.t -> unit
+
+val prefactor_linear_dense :
+  (float list, dense_block) Factor_cache.t ->
+  h:float -> e:Mat.t -> a:Mat.t -> unit
+
+val prefactor_linear_sparse :
+  ?health:Health.t ->
+  (float list, sparse_block) Factor_cache.t ->
+  h:float -> e:Csr.t -> a:Csr.t -> unit
+
+val prefactor_integral_dense :
+  (float list, dense_block) Factor_cache.t ->
+  key_salt:float list -> hii:float -> e:Mat.t -> a:Mat.t -> unit
+
+val prefactor_integral_sparse :
+  ?health:Health.t ->
+  (float list, sparse_block) Factor_cache.t ->
+  key_salt:float list -> hii:float -> e:Csr.t -> a:Csr.t -> unit
 
 val solve_integral_kron :
   h_mat:Mat.t -> one:Vec.t -> e:Mat.t -> a:Mat.t -> bu_int:Mat.t ->

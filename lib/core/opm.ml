@@ -5,144 +5,28 @@ module Trace = Opm_obs.Trace
 
 type backend = [ `Auto | `Dense | `Sparse ]
 
-let input_coefficients ~grid sources =
-  let m = Grid.size grid in
-  let p = Array.length sources in
-  let u = Mat.zeros p m in
-  Array.iteri
-    (fun r src ->
-      let coeffs = Block_pulse.project_source grid src in
-      for i = 0 to m - 1 do
-        Mat.set u r i coeffs.(i)
-      done)
-    sources;
-  u
+(* the input-projection / backend-policy / Toeplitz helpers live in
+   Compiled_model (which sits below Opm so the one-shot paths can be
+   compile-then-solve); re-exported here for existing callers *)
+let input_coefficients = Compiled_model.input_coefficients
 
-let pick_backend backend n =
-  match backend with
-  | `Dense -> `Dense
-  | `Sparse -> `Sparse
-  | `Auto -> if n > 64 then `Sparse else `Dense
+let pick_backend = Compiled_model.pick_backend
 
-let bu_matrix ~grid (sys : Multi_term.t) sources =
-  Trace.with_span "opm.project_inputs" @@ fun () ->
-  let p = Multi_term.input_count sys in
-  if Array.length sources <> p then
-    invalid_arg
-      (Printf.sprintf "Opm: system has %d inputs but %d sources given" p
-         (Array.length sources));
-  let u = input_coefficients ~grid sources in
-  let u =
-    (* input derivative d^r u/dt^r acts on coefficients as U · D^r *)
-    if sys.Multi_term.input_order = 0 then u
-    else
-      let d = Block_pulse.differential_matrix grid in
-      let rec apply u k = if k = 0 then u else apply (Mat.mul u d) (k - 1) in
-      apply u sys.Multi_term.input_order
-  in
-  Mat.mul sys.Multi_term.b u
+let bu_matrix ~grid sys sources = Compiled_model.bu_matrix ~grid sys sources
 
-(* On exactly-uniform grids every operational matrix is upper-triangular
-   Toeplitz, so its first row drives the engine's FFT history fast path.
-   Extracting the row from the built matrix (rather than recomputing the
-   ρ series) keeps the two representations consistent by construction.
-   Near-uniform adaptive grids are deliberately excluded: the acceptance
-   contract keeps every [Grid.Adaptive] solve bit-identical to the naive
-   engine.
-
-   Orders above 1 are excluded too, for accuracy rather than structure:
-   |ρ_α(l)| grows like l^{α−1} with alternating sign for α > 1, and the
-   naive j-ascending scan sums those terms in an order whose partial
-   sums cancel pairwise and stay small. Blockwise FFT reassociation
-   forfeits that cancellation, and the marginally-stable high-order
-   recurrence then integrates the roundoff (≈5e-4 absolute drift on the
-   α = 2 oscillator at m = 1000). Non-growing kernels (α ≤ 1) keep the
-   conv/naive agreement within the ≤ 1e-10 contract. *)
-let fft_safe_terms terms =
-  List.for_all (fun { Multi_term.alpha; _ } -> alpha <= 1.0) terms
-
-let uniform_toeplitz ~grid ~terms dmats =
-  match grid with
-  | Grid.Uniform _ when Engine.fft_rhs_enabled () && fft_safe_terms terms ->
-      let m = Grid.size grid in
-      Some (List.map (fun (_, d) -> Array.init m (Mat.get d 0)) dmats)
-  | _ -> None
-
-let solve_multi_term_general ?health ~backend ~grid (sys : Multi_term.t) ~bu =
-  let n = Multi_term.order sys in
-  let dmats =
-    Trace.with_span "opm.operational_matrices" @@ fun () ->
-    List.map
-      (fun { Multi_term.coeff; alpha } ->
-        (coeff, Block_pulse.fractional_differential_matrix grid alpha))
-      sys.Multi_term.terms
-  in
-  let toeplitz = uniform_toeplitz ~grid ~terms:sys.Multi_term.terms dmats in
-  match pick_backend backend n with
-  | `Sparse ->
-      Engine.solve_sparse ?health ?toeplitz ~terms:dmats ~a:sys.Multi_term.a
-        ~bu ()
-  | `Dense ->
-      let terms = List.map (fun (e, d) -> (Csr.to_dense e, d)) dmats in
-      Engine.solve_dense ?health ?toeplitz ~terms
-        ~a:(Csr.to_dense sys.Multi_term.a) ~bu ()
-
-let shift_by_x0 x x0 =
-  let n, m = Mat.dims x in
-  Mat.init n m (fun r i -> Mat.get x r i +. x0.(r))
-
+(* One-shot simulation is literally compile-then-solve: every
+   plant-dependent artefact (operational matrices, Toeplitz rows, FFT
+   plan, pinned pencil factor) is built by [compile] exactly as the
+   historical one-shot path built it, so cold behaviour is
+   bit-identical while sweep callers can hold on to the compiled model
+   and pay the setup once. *)
 let simulate_multi_term ?(backend = `Auto) ?health ?x0 ?window ?memory_len
     ~grid (sys : Multi_term.t) sources =
   Trace.with_span "opm.simulate" @@ fun () ->
-  let n = Multi_term.order sys in
-  let bu = bu_matrix ~grid sys sources in
-  (* nonzero initial state by substitution z = x − x₀ (the Caputo
-     derivative of a constant vanishes for every α > 0, so the
-     differential terms are untouched): E d^α z = A z + (B u + A x₀) *)
-  let bu, finish =
-    match x0 with
-    | None -> (bu, Fun.id)
-    | Some x0 ->
-        if Array.length x0 <> n then
-          invalid_arg "Opm: x0 length mismatch with system order";
-        let ax0 = Csr.mul_vec sys.Multi_term.a x0 in
-        let m = Grid.size grid in
-        let bu' = Mat.init n m (fun r i -> Mat.get bu r i +. ax0.(r)) in
-        (bu', fun x -> shift_by_x0 x x0)
+  let t =
+    Compiled_model.compile ~backend ?health ?window ?memory_len ~grid sys
   in
-  let pack x =
-    Sim_result.make ?health ~grid ~x:(finish x) ~c:sys.Multi_term.c
-      ~state_names:sys.Multi_term.state_names
-      ~output_names:sys.Multi_term.output_names ()
-  in
-  (* windowed streaming: delegate to the Window driver only for a
-     genuine split (w < m); w ≥ m degenerates to the global path below,
-     which keeps the w = m case bit-identical to an unwindowed run *)
-  match window with
-  | Some w when w < 1 -> invalid_arg "Opm: window width must be >= 1"
-  | Some w when w < Grid.size grid ->
-      let x, _stats =
-        Window.solve ~backend ?health ?memory_len ~window:w ~grid sys ~bu
-      in
-      pack x
-  | _ -> (
-  (* paper §III-A: the order-1 matrix D has a special pattern that turns
-     the per-column history into one running alternating sum; dispatch to
-     that fast path when the system is plain linear *)
-  match (sys.Multi_term.terms, sys.Multi_term.input_order) with
-  | [ { Multi_term.coeff = e; alpha = 1.0 } ], 0 ->
-      let steps = Grid.steps grid in
-      let x =
-        match pick_backend backend n with
-        | `Sparse ->
-            Engine.solve_linear_sparse ?health ~steps ~e ~a:sys.Multi_term.a
-              ~bu ()
-        | `Dense ->
-            Engine.solve_linear_dense ?health ~steps ~e:(Csr.to_dense e)
-              ~a:(Csr.to_dense sys.Multi_term.a) ~bu ()
-      in
-      pack x
-  | _ -> pack (solve_multi_term_general ?health ~backend ~grid sys ~bu))
+  Compiled_model.solve ?health ?x0 t sources
 
 let simulate_fractional ?backend ?health ?x0 ?window ?memory_len ~grid ~alpha
     sys sources =
@@ -168,7 +52,9 @@ let simulate_linear_kron ~grid (sys : Descriptor.t) sources =
     ~state_names:sys.Descriptor.state_names
     ~output_names:sys.Descriptor.output_names ()
 
-let simulate_linear_integral ?x0 ~grid (sys : Descriptor.t) sources =
+let simulate_linear_integral ?(backend = `Auto) ?health ?x0 ?window ~grid
+    (sys : Descriptor.t) sources =
+  Trace.with_span "opm.simulate_integral" @@ fun () ->
   let mt = Multi_term.of_linear sys in
   let bu = bu_matrix ~grid mt sources in
   let m = Grid.size grid in
@@ -176,18 +62,102 @@ let simulate_linear_integral ?x0 ~grid (sys : Descriptor.t) sources =
   let h_mat = Block_pulse.integral_matrix grid in
   let bu_int = Mat.mul bu h_mat in
   let x0 = Option.value x0 ~default:(Vec.zeros n) in
+  if Array.length x0 <> n then
+    invalid_arg "Opm: x0 length mismatch with system order";
+  let backend = pick_backend backend n in
   (* uniform-grid H is Toeplitz (first row [h/2; h; h; …]), so the
      integral form shares the FFT history fast path *)
-  let toeplitz =
+  let toeplitz_of w =
     match grid with
     | Grid.Uniform _ when Engine.fft_rhs_enabled () ->
-        Some [ Array.init m (Mat.get h_mat 0) ]
+        Some [ Array.init w (Mat.get h_mat 0) ]
     | _ -> None
   in
-  let x =
-    Engine.solve_integral_dense ?toeplitz ~h_mat ~one:(Array.make m 1.0)
-      ~e:(Descriptor.e_dense sys) ~a:(Descriptor.a_dense sys) ~bu_int ~x0 ()
+  let global () =
+    let one = Array.make m 1.0 in
+    match backend with
+    | `Dense ->
+        Engine.solve_integral_dense ?health ?toeplitz:(toeplitz_of m) ~h_mat
+          ~one ~e:(Descriptor.e_dense sys) ~a:(Descriptor.a_dense sys)
+          ~bu_int ~x0 ()
+    | `Sparse ->
+        Engine.solve_integral_sparse ?health ?toeplitz:(toeplitz_of m) ~h_mat
+          ~one ~e:sys.Descriptor.e ~a:sys.Descriptor.a ~bu_int ~x0 ()
   in
-  Sim_result.make ~grid ~x ~c:sys.Descriptor.c
+  (* Windowed streaming of the integral form. On a uniform grid the
+     history weights are constant — H_{ji} = h for every j < i — so the
+     pre-window coupling of every column in a window starting at [s] is
+     the same vector A·(h·Σ_{j<s} x_j): an O(n) running sum carried
+     across windows *exactly* (no truncation question arises, unlike
+     the fractional differential tails). Each window is then a fresh
+     integral solve over its own wlen×wlen H block with the coupling
+     folded into bu, sharing one pinned pencil factorisation through
+     the caches. *)
+  let windowed w =
+    if not (Grid.is_uniform ~tol:1e-12 grid) then
+      invalid_arg "Opm: windowed integral solve requires a uniform grid";
+    let h = Grid.t_end grid /. float_of_int m in
+    let fc_d = Engine.Factor_cache.create () in
+    let fc_s = Engine.Factor_cache.create () in
+    let e_d = lazy (Descriptor.e_dense sys) in
+    let a_d = lazy (Descriptor.a_dense sys) in
+    let builder = Sim_result.Builder.create ~n in
+    let nwin = (m + w - 1) / w in
+    (* running sum h·Σ_{j<s} x_j, the carried integral state *)
+    let s_pre = Array.make n 0.0 in
+    for win = 0 to nwin - 1 do
+      let s = win * w in
+      let wlen = min w (m - s) in
+      Trace.with_span "window" @@ fun () ->
+      let a_spre =
+        match backend with
+        | `Dense -> Mat.mul_vec (Lazy.force a_d) s_pre
+        | `Sparse -> Csr.mul_vec sys.Descriptor.a s_pre
+      in
+      let bu_win =
+        Mat.init n wlen (fun r l -> Mat.get bu_int r (s + l) +. a_spre.(r))
+      in
+      let h_win =
+        Mat.init wlen wlen (fun i j ->
+            if j < i then 0.0 else if j = i then h /. 2.0 else h)
+      in
+      let toeplitz =
+        match toeplitz_of wlen with
+        | Some _ ->
+            Some
+              [
+                Array.init wlen (fun l ->
+                    if l = 0 then h /. 2.0 else h);
+              ]
+        | None -> None
+      in
+      let one = Array.make wlen 1.0 in
+      let x_win =
+        match backend with
+        | `Dense ->
+            Engine.solve_integral_dense ?health ~fcache:fc_d
+              ~pin_factors:true ?toeplitz ~history_len:m ~h_mat:h_win ~one
+              ~e:(Lazy.force e_d) ~a:(Lazy.force a_d) ~bu_int:bu_win ~x0 ()
+        | `Sparse ->
+            Engine.solve_integral_sparse ?health ~fcache:fc_s
+              ~pin_factors:true ?toeplitz ~history_len:m ~h_mat:h_win ~one
+              ~e:sys.Descriptor.e ~a:sys.Descriptor.a ~bu_int:bu_win ~x0 ()
+      in
+      for l = 0 to wlen - 1 do
+        for r = 0 to n - 1 do
+          s_pre.(r) <- s_pre.(r) +. (h *. Mat.get x_win r l)
+        done
+      done;
+      Sim_result.Builder.append builder x_win
+    done;
+    Sim_result.Builder.to_mat builder
+  in
+  let x =
+    match window with
+    | Some w when w < 1 -> invalid_arg "Opm: window width must be >= 1"
+    | Some w when w < m -> windowed w
+    | _ -> global ()
+  in
+  Sim_result.make ?health ~grid ~x ~c:sys.Descriptor.c
     ~state_names:sys.Descriptor.state_names
     ~output_names:sys.Descriptor.output_names ()

@@ -87,7 +87,10 @@ val simulate_linear_kron :
     slower; dense only. *)
 
 val simulate_linear_integral :
+  ?backend:backend ->
+  ?health:Opm_robust.Health.t ->
   ?x0:Opm_numkit.Vec.t ->
+  ?window:int ->
   grid:Grid.t ->
   Descriptor.t ->
   Source.t array ->
@@ -96,7 +99,16 @@ val simulate_linear_integral :
     the system once and solves [E X = A X H + B U H + E x₀ 1ᵀ]. Agrees
     with {!simulate_linear} to within discretisation error; exists
     because the formulation generalises to bases without a
-    differentiation matrix and carries initial conditions natively. *)
+    differentiation matrix and carries initial conditions natively.
+
+    Accepts the same [?backend]/[?health] contract as the differential
+    entry points — the columns run behind the full fallback cascade, so
+    [opm_sim --check] reports on this path too. [?window] streams the
+    horizon in [⌈m/w⌉] windows (uniform grids only): the integral
+    history weight is constant [h], so the pre-window coupling is the
+    running sum [A·h·Σ_{j<s} x_j] — O(n) carried state, {e exact} (no
+    truncation), one pinned pencil factorisation shared by all
+    windows. *)
 
 val input_coefficients : grid:Grid.t -> Source.t array -> Opm_numkit.Mat.t
 (** BPF coefficient matrix [U] ([p×m], eq. 11) of the inputs — exposed

@@ -65,8 +65,8 @@ let truncation_mass ~alpha ~lags ~memory_len =
     if !total = 0.0 then 0.0 else !tail /. !total
   end
 
-let solve ?(backend = `Auto) ?health ?memory_len ?on_window ~window:w ~grid
-    (sys : Multi_term.t) ~bu =
+let solve ?(backend = `Auto) ?health ?memory_len ?on_window ?fc_d ?fc_s
+    ?series_cache ~window:w ~grid (sys : Multi_term.t) ~bu =
   Trace.with_span "window.solve" @@ fun () ->
   let m = Grid.size grid in
   let n = Multi_term.order sys in
@@ -91,8 +91,30 @@ let solve ?(backend = `Auto) ?health ?memory_len ?on_window ~window:w ~grid
   let backend = pick_backend backend n in
   let builder = Sim_result.Builder.create ~n in
   let handoff = ref 0.0 in
-  let fc_d = Engine.Factor_cache.create () in
-  let fc_s = Engine.Factor_cache.create () in
+  (* caller-owned caches (a compiled model prefactors and pins into
+     them) fall back to per-call private ones; the per-call stats below
+     are deltas, so shared caches report this call's reuse only *)
+  let fc_d =
+    match fc_d with Some c -> c | None -> Engine.Factor_cache.create ()
+  in
+  let fc_s =
+    match fc_s with Some c -> c | None -> Engine.Factor_cache.create ()
+  in
+  let hits0 = Engine.Factor_cache.hits fc_d + Engine.Factor_cache.hits fc_s in
+  let misses0 =
+    Engine.Factor_cache.misses fc_d + Engine.Factor_cache.misses fc_s
+  in
+  let series alpha len =
+    match series_cache with
+    | None -> Series.one_minus_over_one_plus_pow alpha len
+    | Some tbl -> (
+        match Hashtbl.find_opt tbl (alpha, len) with
+        | Some s -> s
+        | None ->
+            let s = Series.one_minus_over_one_plus_pow alpha len in
+            Hashtbl.add tbl (alpha, len) s;
+            s)
+  in
   let finish_window ~index ~start ~dt x_win =
     handoff := !handoff +. dt;
     Metrics.incr m_windows;
@@ -126,12 +148,12 @@ let solve ?(backend = `Auto) ?health ?memory_len ?on_window ~window:w ~grid
           let z =
             match backend with
             | `Sparse ->
-                Engine.solve_linear_sparse ?health ~fcache:fc_s ~steps ~e ~a
-                  ~bu:bu_win ()
+                Engine.solve_linear_sparse ?health ~fcache:fc_s
+                  ~pin_factors:true ~steps ~e ~a ~bu:bu_win ()
             | `Dense ->
-                Engine.solve_linear_dense ?health ~fcache:fc_d ~steps
-                  ~e:(Lazy.force e_dense) ~a:(Lazy.force a_dense) ~bu:bu_win
-                  ()
+                Engine.solve_linear_dense ?health ~fcache:fc_d
+                  ~pin_factors:true ~steps ~e:(Lazy.force e_dense)
+                  ~a:(Lazy.force a_dense) ~bu:bu_win ()
           in
           let t1 = Unix.gettimeofday () in
           let x_win =
@@ -174,10 +196,7 @@ let solve ?(backend = `Auto) ?health ?memory_len ?on_window ~window:w ~grid
               *. float_of_int (n_int - p + 1)
               /. float_of_int p
           done;
-          let rho_beta =
-            if beta = 0.0 then [||]
-            else Series.one_minus_over_one_plus_pow beta m
-          in
+          let rho_beta = if beta = 0.0 then [||] else series beta m in
           (* y ring keeps the last k_eff transformed columns for the
              ρ_β tail, but never fewer than the n_int recurrence
              boundary values — those are exact carried state *)
@@ -189,7 +208,7 @@ let solve ?(backend = `Auto) ?health ?memory_len ?on_window ~window:w ~grid
             beta;
             binom;
             rho_beta;
-            rho_full = Series.one_minus_over_one_plus_pow alpha m;
+            rho_full = series alpha m;
             yr;
             yring = Array.make yr [||];
           })
@@ -350,14 +369,16 @@ let solve ?(backend = `Auto) ?health ?memory_len ?on_window ~window:w ~grid
           let x_win =
             match backend with
             | `Sparse ->
-                Engine.solve_sparse ?health ~fcache:fc_s ~key_salt ?toeplitz
+                Engine.solve_sparse ?health ~fcache:fc_s ~key_salt
+                  ~pin_factors:true ?toeplitz ~history_len:m
                   ~terms:
                     (List.map2
                        (fun { Multi_term.coeff; _ } dm -> (coeff, dm))
                        terms d)
                   ~a:sys.Multi_term.a ~bu:bu_win ()
             | `Dense ->
-                Engine.solve_dense ?health ~fcache:fc_d ~key_salt ?toeplitz
+                Engine.solve_dense ?health ~fcache:fc_d ~key_salt
+                  ~pin_factors:true ?toeplitz ~history_len:m
                   ~terms:(List.map2 (fun e dm -> (e, dm)) (Lazy.force dense_coeffs) d)
                   ~a:(Lazy.force a_dense) ~bu:bu_win ()
           in
@@ -417,9 +438,12 @@ let solve ?(backend = `Auto) ?health ?memory_len ?on_window ~window:w ~grid
   (match (sys.Multi_term.terms, sys.Multi_term.input_order) with
   | [ { Multi_term.coeff = e; alpha = 1.0 } ], 0 -> run_linear e
   | _ -> run_general ());
-  let hits = Engine.Factor_cache.hits fc_d + Engine.Factor_cache.hits fc_s in
+  let hits =
+    Engine.Factor_cache.hits fc_d + Engine.Factor_cache.hits fc_s - hits0
+  in
   let misses =
     Engine.Factor_cache.misses fc_d + Engine.Factor_cache.misses fc_s
+    - misses0
   in
   Metrics.incr ~by:hits m_factor_reuse;
   ( Sim_result.Builder.to_mat builder,

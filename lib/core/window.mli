@@ -60,13 +60,22 @@ type stats = {
   width : int;  (** requested window width [w] *)
   memory_len : int;  (** effective history length [K] *)
   factor_hits : int;
-      (** pencil factorisations served from the shared cache — the
-          cross-window (and cross-column) reuse the driver exists for *)
-  factor_misses : int;  (** factorisations actually computed *)
+      (** pencil-factor lookups served from the shared cache {e during
+          this call} — one per window after the first on a uniform
+          grid, i.e. [⌈m/w⌉ − 1] (each engine call consults the shared
+          cache once; its columns are served by a per-call memo). A
+          caller-supplied prefactored cache makes every window a hit. *)
+  factor_misses : int;  (** factorisations actually computed this call *)
   handoff_seconds : float;
       (** total wall time spent on cross-window state handoff (history
           tail RHS corrections, endpoint transfer, ring updates) *)
 }
+
+val split_alpha : float -> int * float
+(** [split_alpha α = (⌊α⌋, α − ⌊α⌋)] — the integer/fractional split the
+    driver carries exactly / truncates. Exposed so compile-ahead
+    callers ({!Compiled_model}) can precompute the very [ρ_β] series
+    this driver will look up. *)
 
 val truncation_mass :
   alpha:float -> lags:int -> memory_len:int -> float
@@ -85,6 +94,9 @@ val solve :
   ?health:Opm_robust.Health.t ->
   ?memory_len:int ->
   ?on_window:(index:int -> start:int -> Mat.t -> unit) ->
+  ?fc_d:(float list, Engine.dense_block) Engine.Factor_cache.t ->
+  ?fc_s:(float list, Engine.sparse_block) Engine.Factor_cache.t ->
+  ?series_cache:(float * int, float array) Hashtbl.t ->
   window:int ->
   grid:Opm_basis.Grid.t ->
   Multi_term.t ->
@@ -102,6 +114,20 @@ val solve :
     [?on_window] is called after each window with its index, starting
     column, and the [n×wlen] solved block — the streaming hook for
     consumers that do not want the assembled horizon.
+
+    [?fc_d]/[?fc_s] substitute caller-owned factor caches for the
+    per-call private ones: a compiled model ({!Compiled_model}) passes
+    prefactored, pinned caches so no query factorises anything, and the
+    driver itself pins the entries it inserts (the bounded cache can
+    never evict the hot pencil mid-run, whatever else shares the
+    cache). [?series_cache] memoises the O(m²) [ρ] series by
+    [(α, length)] across calls. The per-window engine calls pass the
+    global horizon as the FFT-gate history length, so long horizons
+    keep the Toeplitz fast path even when [w] is far below the
+    crossover.
+
+    The [stats] hits/misses are deltas over this call when the caches
+    are shared.
 
     Raises [Invalid_argument] when [window < 1], [memory_len < 0], the
     grid is not uniform, or [bu] disagrees with the system order and

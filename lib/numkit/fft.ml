@@ -304,6 +304,26 @@ module Blocked_conv = struct
 
   let blocks t = t.blocks
 
+  let rows t = t.rows
+
+  let horizon t = t.m
+
+  let nterms t = Array.length t.kernels
+
+  (* Rewind for the next query: zero the pushed columns and the
+     accumulators, keep the kernel spectra (the expensive part of
+     [create]). Only the first [pushed] columns of [cols] ever held
+     data, but [acc] receives scattered future-column contributions
+     from flushed blocks, so it is cleared in full. *)
+  let reset t =
+    let p = t.pushed in
+    for r = 0 to t.rows - 1 do
+      Array.fill t.cols.(r) 0 p 0.0
+    done;
+    Array.iter (fun term -> Array.iter (fun row -> Array.fill row 0 t.m 0.0) term) t.acc;
+    t.pushed <- 0;
+    t.blocks <- 0
+
   (* one finished block at level [lvl] ending at column [p] *)
   let flush_block t lvl p =
     let b = t.base lsl lvl in

@@ -84,4 +84,21 @@ module Blocked_conv : sig
 
   val blocks : t -> int
   (** FFT block convolutions performed so far (observability). *)
+
+  val rows : t -> int
+  (** State dimension the convolver was created for. *)
+
+  val horizon : t -> int
+  (** Column horizon [m] the convolver was created for. *)
+
+  val nterms : t -> int
+  (** Number of kernels (terms). *)
+
+  val reset : t -> unit
+  (** Rewind to the pushed-nothing state so the convolver can serve
+      another query over the same kernels: clears the column store, the
+      accumulators and the [blocks] count, but keeps the precomputed
+      kernel spectra — the expensive part of {!create}. The kernels
+      themselves are shared, not copied, so they must not change
+      between queries. *)
 end

@@ -557,6 +557,46 @@ let test_integral_form_x0 () =
   check_bool "discharge via integral form" true
     (max_err_against (fun t -> exp (-.t)) r < 1e-4)
 
+(* Regression for the integral entry point's API seam: it used to take
+   no [?backend]/[?health]/[?window], so it silently ran dense and
+   outside the health cascade while every differential entry point
+   honoured them. The full signature must now hold: sparse agrees with
+   dense, the windowed running-sum streaming agrees with the global
+   solve (to roundoff — the coupling is exact), and a health collector
+   sees every column. *)
+let test_integral_form_full_signature () =
+  let sys = Descriptor.random_stable ~seed:44 ~n:6 ~p:1 ~q:1 () in
+  let src =
+    [| Source.Sine { amplitude = 1.0; freq_hz = 0.4; phase = 0.1; offset = 0.2 } |]
+  in
+  let m = 64 in
+  let grid = Grid.uniform ~t_end:3.0 ~m in
+  let x0 = Array.init 6 (fun i -> 0.2 *. float_of_int (i - 3)) in
+  let dense = Opm.simulate_linear_integral ~backend:`Dense ~x0 ~grid sys src in
+  let sparse =
+    Opm.simulate_linear_integral ~backend:`Sparse ~x0 ~grid sys src
+  in
+  close "sparse = dense (integral form)" 0.0
+    (Mat.max_abs_diff dense.Sim_result.x sparse.Sim_result.x)
+    ~tol:1e-9;
+  List.iter
+    (fun w ->
+      let windowed =
+        Opm.simulate_linear_integral ~x0 ~window:w ~grid sys src
+      in
+      close
+        (Printf.sprintf "windowed (w = %d) = global (integral form)" w)
+        0.0
+        (Mat.max_abs_diff windowed.Sim_result.x dense.Sim_result.x)
+        ~tol:1e-10)
+    [ 16; 24 (* short last window *) ];
+  let health = Opm_robust.Health.create () in
+  let r = Opm.simulate_linear_integral ~health ~grid sys src in
+  check_int "health sees every integral column" m
+    (Opm_robust.Health.columns health);
+  check_bool "health report carried on the result" true
+    (match r.Sim_result.health with Some h -> h == health | None -> false)
+
 let test_legendre_solver_spectral () =
   (* smooth input: a handful of Legendre coefficients beats many block
      pulses *)
@@ -714,6 +754,7 @@ let () =
           t "x0 size check" test_x0_size_check;
           t "integral = differential" test_integral_form_equals_differential;
           t "integral form with x0" test_integral_form_x0;
+          t "integral form full signature" test_integral_form_full_signature;
           t "legendre spectral accuracy" test_legendre_solver_spectral;
           t "legendre with x0" test_legendre_solver_x0;
         ] );
