@@ -14,7 +14,14 @@
      strictly positive;
    - table-specific contracts: in the "rhs-conv" table every "rhs-fft"
      row must satisfy [error_db <= -200.0] (the 1e-10 relative
-     agreement contract between the FFT and naive history paths).
+     agreement contract between the FFT and naive history paths);
+   - the "resilience" table (BENCH_resilience.json) additionally
+     requires a string [outcome] per row drawn from the closed set of
+     acceptable results — {recovered, structured-error, no-fire,
+     holds, informational} — so a run that recorded a wrong answer, a
+     non-finite result, an unstructured exception or a violated
+     overhead gate fails validation even if the bench binary was
+     killed before it could exit non-zero.
 
    Exit status 0 iff every file validates. *)
 
@@ -91,7 +98,17 @@ let validate file =
         if table = "rhs-conv" && method_ = "rhs-fft" && error_db > -200.0 then
           fail "row %d: rhs-fft error_db %.1f exceeds the -200 dB contract" i
             error_db
-      end)
+      end;
+      if table = "resilience" then
+        match get "outcome" with
+        | Json.String
+            ( "recovered" | "structured-error" | "no-fire" | "holds"
+            | "informational" ) ->
+            ()
+        | Json.String s ->
+            fail "row %d (%s): outcome %S is not an acceptable result" i
+              method_ s
+        | _ -> fail "row %d: outcome is not a string" i)
     rows;
   List.length rows
 

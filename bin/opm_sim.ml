@@ -211,10 +211,99 @@ let report_arg =
   in
   Arg.(value & opt (some string) None & info [ "report" ] ~docv:"FILE" ~doc)
 
+let checkpoint_arg =
+  let doc =
+    "Write a resumable checkpoint (schema opm-checkpoint-v1, atomic \
+     tmp+rename) to $(docv) after each window of a windowed opm \
+     transient; requires $(b,--window). On interruption, pass the file \
+     back with $(b,--resume) to continue bit-identically."
+  in
+  Arg.(value & opt (some string) None & info [ "checkpoint" ] ~docv:"FILE" ~doc)
+
+let resume_arg =
+  let doc =
+    "Resume a windowed opm transient from a checkpoint written by \
+     $(b,--checkpoint). The run parameters (netlist stamp, steps, \
+     window, memory length, t_end) must match the writing run exactly."
+  in
+  Arg.(value & opt (some string) None & info [ "resume" ] ~docv:"FILE" ~doc)
+
+let checkpoint_every_arg =
+  let doc = "With $(b,--checkpoint): snapshot every $(docv)-th window." in
+  Arg.(value & opt int 1 & info [ "checkpoint-every" ] ~docv:"N" ~doc)
+
+let deadline_arg =
+  let doc =
+    "Abort the transient solve with a structured error (exit 4) once \
+     $(docv) seconds of wall clock have elapsed; windowed runs keep the \
+     completed-window prefix and the last checkpoint."
+  in
+  Arg.(value & opt (some float) None & info [ "deadline" ] ~docv:"SECONDS" ~doc)
+
+let max_factors_arg =
+  let doc = "Abort after $(docv) pencil factorisations (budget cap)." in
+  Arg.(value & opt (some int) None & info [ "max-factors" ] ~docv:"N" ~doc)
+
+let max_heap_arg =
+  let doc =
+    "Abort once the solver's matrix-allocation estimate exceeds $(docv) \
+     MB (budget cap)."
+  in
+  Arg.(value & opt (some float) None & info [ "max-heap" ] ~docv:"MB" ~doc)
+
+let fault_arg =
+  let doc =
+    "Arm one seeded injected fault: $(docv) is seed:site:nth or \
+     seed:site:kind:nth (sites: factor, column-solve, fft-block, \
+     window-handoff, checkpoint-write, pool-dispatch; kinds: singular, \
+     nan-poison, enospc, latency). Overrides $(b,OPM_FAULT_PLAN). \
+     Testing hook: an injected fault always yields a structured error \
+     or a clean recovery, never a silently wrong answer."
+  in
+  Arg.(value & opt (some string) None & info [ "fault" ] ~docv:"PLAN" ~doc)
+
 module Health = Opm_robust.Health
 module Opm_error = Opm_robust.Opm_error
+module Budget = Opm_robust.Budget
+module Fault = Opm_robust.Fault
 module Metrics = Opm_obs.Metrics
 module Trace = Opm_obs.Trace
+
+(* one-line usage errors → exit 2 (satellite contract: bad flag values
+   never reach the solver) *)
+exception Usage of string
+
+let usage fmt = Printf.ksprintf (fun m -> raise (Usage m)) fmt
+
+(* a budget/checkpoint interruption already printed its partial CSV and
+   diagnostic; the sentinel just carries exit code 4 to the top *)
+exception Interrupted_exit
+
+(* An interrupted windowed solve still yields every completed window:
+   print the usable prefix as ordinary CSV (on the truncated grid) and
+   point the user at the checkpoint to resume from. *)
+let handle_interrupted ~(mt : Multi_term.t) ~t_end ~steps f =
+  try f ()
+  with Window.Interrupted { error; partial; completed_windows; checkpoint } ->
+    let module Mat = Opm_numkit.Mat in
+    let _, cols = Mat.dims partial in
+    if cols > 0 then begin
+      let h = t_end /. float_of_int steps in
+      let grid = Grid.uniform ~t_end:(h *. float_of_int cols) ~m:cols in
+      let r =
+        Sim_result.make ~grid ~x:partial ~c:mt.Multi_term.c
+          ~state_names:mt.Multi_term.state_names
+          ~output_names:mt.Multi_term.output_names ()
+      in
+      Opm_signal.Waveform.print_csv r.Sim_result.outputs
+    end;
+    Printf.eprintf "opm_sim: interrupted after %d completed window(s): %s%s\n%!"
+      completed_windows
+      (Opm_error.to_string error)
+      (match checkpoint with
+      | Some p -> Printf.sprintf " — resume with --resume %s" p
+      | None -> "");
+    raise Interrupted_exit
 
 (* A singular pencil is reported by the engine with the failing state
    *index*; at this level we know the MNA state names, so attach the
@@ -228,8 +317,8 @@ let with_state_names names f =
     Opm_error.raise_
       (Opm_error.Singular_pencil { r with name = Some names.(step) })
 
-let run_tran ?health ?window ?memory_len ~compile net outputs t_end steps
-    method_ tol =
+let run_tran ?health ?budget ?checkpoint ?checkpoint_every ?resume_from
+    ?window ?memory_len ~compile net outputs t_end steps method_ tol =
   let t_end =
     match t_end with
     | Some t -> t
@@ -252,27 +341,34 @@ let run_tran ?health ?window ?memory_len ~compile net outputs t_end steps
         let mt, srcs = Mna.stamp ?outputs net in
         let grid = Grid.uniform ~t_end ~m:steps in
         with_state_names mt.Multi_term.state_names (fun () ->
-            let model =
-              Compiled_model.compile ?health ?window ?memory_len ~grid mt
-            in
-            (Compiled_model.solve ?health model srcs).Sim_result.outputs)
+            handle_interrupted ~mt ~t_end ~steps (fun () ->
+                let model =
+                  Compiled_model.compile ?health ?window ?memory_len ~grid mt
+                in
+                (Compiled_model.solve ?health ?budget ?checkpoint
+                   ?checkpoint_every ?resume_from model srcs)
+                  .Sim_result.outputs))
     | Opm_method ->
         let mt, srcs = Mna.stamp ?outputs net in
         let grid = Grid.uniform ~t_end ~m:steps in
         with_state_names mt.Multi_term.state_names (fun () ->
-            (Opm.simulate_multi_term ?health ?window ?memory_len ~grid mt srcs)
-              .Sim_result.outputs)
+            handle_interrupted ~mt ~t_end ~steps (fun () ->
+                (Opm.simulate_multi_term ?health ?budget ?checkpoint
+                   ?checkpoint_every ?resume_from ?window ?memory_len ~grid mt
+                   srcs)
+                  .Sim_result.outputs))
     | Integral ->
         let sys, srcs = Mna.stamp_linear ?outputs net in
         let grid = Grid.uniform ~t_end ~m:steps in
         with_state_names sys.Descriptor.state_names (fun () ->
-            (Opm.simulate_linear_integral ?health ?window ~grid sys srcs)
+            (Opm.simulate_linear_integral ?health ?budget ?window ~grid sys
+               srcs)
               .Sim_result.outputs)
     | Opm_adaptive ->
         let sys, srcs = Mna.stamp_linear ?outputs net in
         let result, stats =
           with_state_names sys.Descriptor.state_names (fun () ->
-              Adaptive.solve ~tol ?health ~t_end sys srcs)
+              Adaptive.solve ~tol ?health ?budget ~t_end sys srcs)
         in
         Logs.info (fun k ->
             k "adaptive: %d steps, %d rejected, %d factorisations"
@@ -459,7 +555,8 @@ let mode_name = function
 (* Flush the requested observability outputs after a run: metrics dump
    and span profile to stderr, Chrome trace and merged report to
    files. *)
-let emit_observability ~metrics ~trace ~report ~run_params health =
+let emit_observability ?resilience ~metrics ~trace ~report ~run_params health
+    =
   if metrics then begin
     Printf.eprintf "%s%!" (Metrics.to_text ());
     if Trace.span_count () > 0 then
@@ -472,22 +569,86 @@ let emit_observability ~metrics ~trace ~report ~run_params health =
   | Some file ->
       let health = Option.map Health.to_json health in
       Opm_obs.Json.to_file file
-        (Opm_obs.Report.make ?health ~run:run_params ())
+        (Opm_obs.Report.make ?health ?resilience ~run:run_params ())
   | None -> ()
+
+(* Flag validation (exit 2, one line on stderr): every value-range and
+   path problem is caught here, before any netlist parsing or solver
+   work, so a bad invocation can never produce a partial run. *)
+let validate_flags ~mode ~method_ ~steps ~window ~memory_len ~domains
+    ~checkpoint ~resume ~checkpoint_every ~deadline ~max_factors ~max_heap
+    ~fault =
+  if steps <= 0 then usage "--steps must be positive (got %d)" steps;
+  (match window with
+  | Some w when w <= 0 -> usage "--window must be positive (got %d)" w
+  | _ -> ());
+  (match memory_len with
+  | Some k when k <= 0 -> usage "--memory-len must be positive (got %d)" k
+  | _ -> ());
+  (match domains with
+  | Some d when d <= 0 -> usage "--domains must be positive (got %d)" d
+  | _ -> ());
+  if checkpoint_every <= 0 then
+    usage "--checkpoint-every must be positive (got %d)" checkpoint_every;
+  (match deadline with
+  | Some s when s <= 0.0 -> usage "--deadline must be positive (got %g)" s
+  | _ -> ());
+  (match max_factors with
+  | Some k when k <= 0 -> usage "--max-factors must be positive (got %d)" k
+  | _ -> ());
+  (match max_heap with
+  | Some mb when mb <= 0.0 -> usage "--max-heap must be positive (got %g)" mb
+  | _ -> ());
+  (match checkpoint with
+  | Some path ->
+      let dir = Filename.dirname path in
+      if not (Sys.file_exists dir && Sys.is_directory dir) then
+        usage "--checkpoint %s: directory %s does not exist" path dir
+  | None -> ());
+  (match resume with
+  | Some path ->
+      if not (Sys.file_exists path) then
+        usage "--resume %s: no such file" path
+  | None -> ());
+  (if checkpoint <> None || resume <> None then
+     match (mode, method_, window) with
+     | Tran, Opm_method, Some _ -> ()
+     | Tran, Opm_method, None ->
+         usage "--checkpoint/--resume require --window (windowed opm solve)"
+     | _ ->
+         usage
+           "--checkpoint/--resume apply only to the windowed opm transient");
+  match fault with
+  | None -> (
+      match Fault.arm_from_env () with
+      | Ok _ -> ()
+      | Error msg -> usage "OPM_FAULT_PLAN: %s" msg)
+  | Some plan -> (
+      match Fault.plan_of_string plan with
+      | Ok p -> Fault.arm p
+      | Error msg -> usage "--fault %s: %s" plan msg)
 
 let run netlist_path mode t_end steps method_ probes tol window memory_len
     compile fstart fstop points no_fft_rhs domains check strict metrics trace
-    report =
+    report checkpoint resume checkpoint_every deadline max_factors max_heap
+    fault =
   try
+    validate_flags ~mode ~method_ ~steps ~window ~memory_len ~domains
+      ~checkpoint ~resume ~checkpoint_every ~deadline ~max_factors ~max_heap
+      ~fault;
     if no_fft_rhs then Engine.set_fft_rhs_enabled false;
     (match domains with
-    | Some d when d >= 1 -> Opm_parallel.Pool.set_default_domains d
-    | Some d ->
-        Printf.eprintf
-          "opm_sim: warning: --domains %d is not positive; ignored\n%!" d
+    | Some d -> Opm_parallel.Pool.set_default_domains d
     | None -> ());
     if metrics || report <> None then Metrics.set_enabled true;
     if trace <> None || report <> None then Trace.set_enabled true;
+    let budget =
+      if deadline <> None || max_factors <> None || max_heap <> None then
+        Some
+          (Budget.create ?deadline_s:deadline ?max_factors
+             ?max_heap_mb:max_heap ())
+      else None
+    in
     let net = Parser.parse_file netlist_path in
     let outputs =
       match probes with
@@ -501,8 +662,9 @@ let run netlist_path mode t_end steps method_ probes tol window memory_len
     in
     (match mode with
     | Tran ->
-        run_tran ?health ?window ?memory_len ~compile net outputs t_end steps
-          method_ tol
+        run_tran ?health ?budget ?checkpoint ~checkpoint_every
+          ?resume_from:resume ?window ?memory_len ~compile net outputs t_end
+          steps method_ tol
     | Ac_mode -> run_ac net outputs fstart fstop points
     | Dc_mode -> run_dc net outputs
     | Poles_mode -> run_poles net
@@ -519,7 +681,37 @@ let run netlist_path mode t_end steps method_ probes tol window memory_len
             match t_end with Some t -> Float t | None -> Null );
         ]
     in
-    emit_observability ~metrics ~trace ~report ~run_params health;
+    let resilience =
+      if
+        fault <> None || budget <> None || checkpoint <> None
+        || resume <> None
+        || Fault.armed () <> None
+      then
+        Some
+          Opm_obs.Json.(
+            Obj
+              [
+                ("fault", Fault.stats_json ());
+                ( "budget",
+                  match budget with
+                  | Some b -> Budget.to_json b
+                  | None -> Null );
+                ( "checkpoint",
+                  Obj
+                    [
+                      ( "path",
+                        match checkpoint with
+                        | Some p -> String p
+                        | None -> Null );
+                      ( "resumed_from",
+                        match resume with
+                        | Some p -> String p
+                        | None -> Null );
+                    ] );
+              ])
+      else None
+    in
+    emit_observability ?resilience ~metrics ~trace ~report ~run_params health;
     match health with
     | None -> 0
     | Some h ->
@@ -530,9 +722,20 @@ let run netlist_path mode t_end steps method_ probes tol window memory_len
         end
         else 0
   with
+  | Usage msg ->
+      Printf.eprintf "opm_sim: %s\n" msg;
+      2
+  | Interrupted_exit -> 4
   | Parser.Parse_error { line; message } ->
       Printf.eprintf "%s:%d: %s\n" netlist_path line message;
       1
+  | Opm_error.Error
+      ((Opm_error.Deadline_exceeded _ | Opm_error.Budget_exhausted _) as e)
+    ->
+      (* a budget breach on a non-windowed path has no partial prefix to
+         print, but it is still an orderly interruption, not a failure *)
+      Printf.eprintf "opm_sim: interrupted: %s\n" (Opm_error.to_string e);
+      4
   | Opm_error.Error e ->
       Printf.eprintf "error: %s\n" (Opm_error.to_string e);
       1
@@ -554,7 +757,9 @@ let cmd =
       const run $ netlist_arg $ mode_arg $ t_end_arg $ steps_arg $ method_arg
       $ probes_arg $ tol_arg $ window_arg $ memory_len_arg $ compile_arg
       $ fstart_arg $ fstop_arg $ points_arg $ no_fft_rhs_arg $ domains_arg
-      $ check_arg $ strict_arg $ metrics_arg $ trace_arg $ report_arg)
+      $ check_arg $ strict_arg $ metrics_arg $ trace_arg $ report_arg
+      $ checkpoint_arg $ resume_arg $ checkpoint_every_arg $ deadline_arg
+      $ max_factors_arg $ max_heap_arg $ fault_arg)
 
 let () =
   Logs.set_reporter (Logs.format_reporter ());

@@ -28,7 +28,7 @@ type walk = {
    before the driver gives up with a structured error *)
 let max_non_finite_retries = 3
 
-let solve ?(tol = 1e-4) ?health ?h_init ?h_min ?h_max ~t_end
+let solve ?(tol = 1e-4) ?health ?budget ?h_init ?h_min ?h_max ~t_end
     (sys : Descriptor.t) sources =
   Trace.with_span "adaptive.solve" @@ fun () ->
   if t_end <= 0.0 then invalid_arg "Adaptive.solve: t_end <= 0";
@@ -48,6 +48,10 @@ let solve ?(tol = 1e-4) ?health ?h_init ?h_min ?h_max ~t_end
     match List.assoc_opt h !cache with
     | Some f -> f
     | None ->
+        (match budget with
+        | Some b ->
+            Budget.charge_factor ~bytes:(n * n * 8) b ~site:"adaptive.factor"
+        | None -> ());
         let m = Mat.sub (Mat.scale (2.0 /. h) e) a in
         let f =
           match Lu.factor m with
@@ -88,6 +92,9 @@ let solve ?(tol = 1e-4) ?health ?h_init ?h_min ?h_max ~t_end
   (* consecutive non-finite trials at the current location *)
   let nf_retries = ref 0 in
   while w.t < t_end -. (1e-12 *. t_end) do
+    (match budget with
+    | Some b -> Budget.check_deadline_now b ~site:"adaptive.step"
+    | None -> ());
     let h_trial = Float.min !h (t_end -. w.t) in
     (* full step *)
     let x_full = column ~index:w.index ~salt:w.salt ~t:w.t h_trial in

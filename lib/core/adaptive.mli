@@ -29,6 +29,7 @@ val max_non_finite_retries : int
 val solve :
   ?tol:float ->
   ?health:Opm_robust.Health.t ->
+  ?budget:Opm_robust.Budget.t ->
   ?h_init:float ->
   ?h_min:float ->
   ?h_max:float ->
@@ -47,4 +48,10 @@ val solve :
     {!max_non_finite_retries} consecutive times, each halving recorded
     as a [Step_halved] event in [health]; on exhaustion
     [Opm_robust.Opm_error.Error (Non_finite _)] is raised. A singular
-    trial pencil raises the structured [Singular_pencil] error. *)
+    trial pencil raises the structured [Singular_pencil] error.
+
+    [?budget] checks the wall-clock deadline before every trial step
+    (site ["adaptive.step"]) and charges each distinct diagonal-block
+    factorisation against the factor/heap caps (site
+    ["adaptive.factor"]); a breach raises the structured
+    [Deadline_exceeded]/[Budget_exhausted] error. *)

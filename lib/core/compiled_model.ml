@@ -272,8 +272,15 @@ let compile_fractional ?backend ?health ?window ?memory_len ~grid ~alpha sys =
   compile ?backend ?health ?window ?memory_len ~grid
     (Multi_term.of_fractional ~alpha sys)
 
-let solve_bu ?health t bu =
+let solve_bu ?health ?budget ?checkpoint ?checkpoint_every ?resume_from t bu =
   Trace.with_span "compiled_solve" @@ fun () ->
+  (match t.plan with
+  | Windowed _ -> ()
+  | Linear _ | General _ ->
+      if checkpoint <> None || resume_from <> None then
+        invalid_arg
+          "Compiled_model.solve: checkpointing requires a windowed model \
+           (compile with ?window)");
   t.queries <- t.queries + 1;
   Metrics.incr m_queries;
   let hits0 =
@@ -286,28 +293,29 @@ let solve_bu ?health t bu =
           Window.solve
             ~backend:(t.backend :> backend)
             ?health ?memory_len:t.memory_len ~fc_d:t.fc_d ~fc_s:t.fc_s
-            ~series_cache:t.series_cache ~window:w ~grid:t.grid t.sys ~bu
+            ~series_cache:t.series_cache ?budget ?checkpoint
+            ?checkpoint_every ?resume_from ~window:w ~grid:t.grid t.sys ~bu
         in
         x
     | Linear { steps; e_s; e_d } -> (
         match t.backend with
         | `Sparse ->
             Engine.solve_linear_sparse ?health ~fcache:t.fc_s
-              ~pin_factors:t.uniform ~steps ~e:e_s ~a:t.sys.Multi_term.a ~bu
-              ()
+              ~pin_factors:t.uniform ?budget ~steps ~e:e_s
+              ~a:t.sys.Multi_term.a ~bu ()
         | `Dense ->
             Engine.solve_linear_dense ?health ~fcache:t.fc_d
-              ~pin_factors:t.uniform ~steps ~e:(Lazy.force e_d)
+              ~pin_factors:t.uniform ?budget ~steps ~e:(Lazy.force e_d)
               ~a:(Lazy.force t.a_dense) ~bu ())
     | General { terms_s; terms_d; toeplitz; key_salt; conv } -> (
         match t.backend with
         | `Sparse ->
             Engine.solve_sparse ?health ~fcache:t.fc_s ~key_salt
-              ~pin_factors:t.uniform ?toeplitz ?conv_reuse:conv
+              ~pin_factors:t.uniform ?toeplitz ?conv_reuse:conv ?budget
               ~terms:terms_s ~a:t.sys.Multi_term.a ~bu ()
         | `Dense ->
             Engine.solve_dense ?health ~fcache:t.fc_d ~key_salt
-              ~pin_factors:t.uniform ?toeplitz ?conv_reuse:conv
+              ~pin_factors:t.uniform ?toeplitz ?conv_reuse:conv ?budget
               ~terms:(Lazy.force terms_d) ~a:(Lazy.force t.a_dense) ~bu ())
   in
   let hits1 =
@@ -316,7 +324,7 @@ let solve_bu ?health t bu =
   Metrics.incr ~by:(hits1 - hits0) m_factor_reuse;
   x
 
-let solve_coeffs ?health t u =
+let solve_coeffs ?health ?budget t u =
   let p = Multi_term.input_count t.sys in
   let m = Grid.size t.grid in
   let ur, uc = Mat.dims u in
@@ -329,9 +337,10 @@ let solve_coeffs ?health t u =
     apply_input_order ~deriv:(fun () -> Lazy.force t.u_deriv) ~grid:t.grid
       t.sys u
   in
-  solve_bu ?health t (Mat.mul t.sys.Multi_term.b u)
+  solve_bu ?health ?budget t (Mat.mul t.sys.Multi_term.b u)
 
-let solve ?health ?x0 t sources =
+let solve ?health ?budget ?checkpoint ?checkpoint_every ?resume_from ?x0 t
+    sources =
   let bu =
     bu_matrix ~deriv:(fun () -> Lazy.force t.u_deriv) ~grid:t.grid t.sys
       sources
@@ -350,7 +359,9 @@ let solve ?health ?x0 t sources =
         let bu' = Mat.init n m (fun r i -> Mat.get bu r i +. ax0.(r)) in
         (bu', fun x -> shift_by_x0 x x0)
   in
-  let x = solve_bu ?health t bu in
+  let x =
+    solve_bu ?health ?budget ?checkpoint ?checkpoint_every ?resume_from t bu
+  in
   Sim_result.make ?health ~grid:t.grid ~x:(finish x) ~c:t.sys.Multi_term.c
     ~state_names:t.sys.Multi_term.state_names
     ~output_names:t.sys.Multi_term.output_names ()

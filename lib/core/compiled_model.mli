@@ -89,15 +89,28 @@ val compile_fractional :
 
 val solve :
   ?health:Opm_robust.Health.t ->
+  ?budget:Opm_robust.Budget.t ->
+  ?checkpoint:string ->
+  ?checkpoint_every:int ->
+  ?resume_from:string ->
   ?x0:Vec.t ->
   t ->
   Source.t array ->
   Sim_result.t
 (** One query: project [sources], apply the [x₀] substitution, and run
     the column recurrence against the compiled state. Bit-identical to
-    the matching one-shot [Opm.simulate_*] call. *)
+    the matching one-shot [Opm.simulate_*] call.
 
-val solve_coeffs : ?health:Opm_robust.Health.t -> t -> Mat.t -> Mat.t
+    [?budget] enforces the deadline/factor/heap caps cooperatively on
+    every plan; [?checkpoint]/[?checkpoint_every]/[?resume_from] are
+    forwarded to {!Window.solve} and require a windowed model
+    ([Invalid_argument] otherwise — the global paths have no
+    window-boundary state to snapshot). A budget breach or
+    checkpoint-write failure on a windowed model raises
+    {!Window.Interrupted}. *)
+
+val solve_coeffs :
+  ?health:Opm_robust.Health.t -> ?budget:Opm_robust.Budget.t -> t -> Mat.t -> Mat.t
 (** Raw query: [u] is the [p×m] input-coefficient matrix (already in
     BPF coordinates — see {!input_coefficients}); applies the input
     derivative [U·D^r] when the system has one and returns the raw

@@ -50,6 +50,80 @@ let check_terms_dims ~n ~m terms a_rows a_cols =
       if dr <> m || dc <> m then invalid_arg "Engine: D_k dimension mismatch")
     terms
 
+(* ------------------------------------------------------------------ *)
+(* Fault-injection sites and budget check-points. Each [Fault.fire] is
+   one atomic load when no plan is armed, and each budget hook is one
+   [Option] match when no budget is threaded — together they are the
+   "disabled path" gated < 2% by [bench resilience]. The kind → effect
+   mapping is mechanical so every cell of the site × kind matrix ends
+   in either a structured Opm_error or a recovery the cascade already
+   knows how to verify (see DESIGN.md §15 for the full table). *)
+
+let fault_injected site =
+  Opm_error.raise_
+    (Opm_error.Fault_injected
+       {
+         site = Fault.site_to_string site;
+         kind =
+           (match Fault.armed () with
+           | Some p -> Fault.kind_to_string p.kind
+           | None -> "unknown");
+       })
+
+(* Factor site, dense backend: Singular is terminal (dense LU already
+   pivots strictly); Nan_poison factors an all-NaN pencil, which the
+   factoriser rejects as structurally singular — both structured. *)
+let fault_factor_dense ~column dmat =
+  match Fault.fire Fault.Factor with
+  | None -> dmat
+  | Some Fault.Latency ->
+      Fault.latency_sleep ();
+      dmat
+  | Some Fault.Singular ->
+      Opm_error.raise_
+        (Opm_error.Singular_pencil { column; step = 0; pivot = 0.0; name = None })
+  | Some Fault.Nan_poison -> Mat.scale Float.nan dmat
+  | Some Fault.Enospc -> fault_injected Fault.Factor
+
+(* Column-solve site: Nan_poison overwrites one solution entry (the
+   guard cascade must notice and either re-factor or raise Non_finite —
+   never let the NaN reach the result matrix). *)
+let fault_column ~column x =
+  match Fault.fire Fault.Column_solve with
+  | None -> x
+  | Some Fault.Latency ->
+      Fault.latency_sleep ();
+      x
+  | Some Fault.Nan_poison ->
+      let x = Array.copy x in
+      if Array.length x > 0 then x.(0) <- Float.nan;
+      x
+  | Some Fault.Singular ->
+      Opm_error.raise_
+        (Opm_error.Singular_pencil { column; step = 0; pivot = 0.0; name = None })
+  | Some Fault.Enospc -> fault_injected Fault.Column_solve
+
+(* FFT-block site lives here rather than in numkit so the convolver
+   stays dependency-free; fired once per history-assembled column. *)
+let fault_fft_block () =
+  match Fault.fire Fault.Fft_block with
+  | None -> false
+  | Some Fault.Latency ->
+      Fault.latency_sleep ();
+      false
+  | Some Fault.Nan_poison -> true
+  | Some (Fault.Singular | Fault.Enospc) -> fault_injected Fault.Fft_block
+
+let budget_column budget =
+  match budget with
+  | None -> ()
+  | Some b -> Budget.check_deadline b ~site:"engine.column"
+
+let budget_factor ?(bytes = 0) budget =
+  match budget with
+  | None -> ()
+  | Some b -> Budget.charge_factor ~bytes b ~site:"engine.factor"
+
 let diag_key terms i = List.map (fun (_, d) -> Mat.get d i i) terms
 
 let same_key a b = List.for_all2 (fun (x : float) y -> x = y) a b
@@ -178,13 +252,19 @@ let column_rhs ?conv ?(sign = -1.0) ~n ~bu ~terms ~apply_e ~cols i =
   let rhs = Array.init n (fun r -> Mat.get bu r i) in
   (match conv with
   | Some cv ->
-      if i > 0 then
+      if i > 0 then begin
+        let poison = fault_fft_block () in
         List.iteri
           (fun k _ ->
             let hist = Fft.Blocked_conv.history cv ~term:k i in
+            (* [history] returns a fresh vector, so poisoning it never
+               touches the convolver's internal state *)
+            if poison && k = 0 && Array.length hist > 0 then
+              hist.(0) <- Float.nan;
             let ev = apply_e k hist in
             Vec.axpy sign ev rhs)
           terms
+      end
   | None ->
       List.iteri
         (fun k (_, dmat) ->
@@ -344,6 +424,7 @@ let guard_column ?health ~cond_limit ~column ~solve ~apply ~cond ~escalate x
 type dense_block = { dmat : Mat.t; dlu : Lu.t }
 
 let dense_block ~column dmat =
+  let dmat = fault_factor_dense ~column dmat in
   match Lu.factor dmat with
   | lu -> { dmat; dlu = lu }
   | exception Lu.Singular k ->
@@ -353,7 +434,7 @@ let dense_block ~column dmat =
 let solve_col_dense ?health ~cond_limit ~column blk rhs =
   let solve = Lu.solve blk.dlu in
   let apply = Mat.mul_vec blk.dmat in
-  let x = solve rhs in
+  let x = fault_column ~column (solve rhs) in
   (* dense LU already pivots strictly, so there is no stronger
      factorisation to escalate to: a non-finite column is terminal *)
   let escalate x = raise_non_finite ~stage:"solve-dense" ~column x in
@@ -396,13 +477,30 @@ let strict_factor ?health ~column smat =
   | exception Slu.Singular _ -> dense_fallback_factor ?health ~column smat
 
 let sparse_block ?health ~column smat =
-  match Slu.factor smat with
-  | f -> { smat; strict_tried = false; sfac = Sfac f }
-  | exception Slu.Singular _ ->
-      { smat; strict_tried = true; sfac = strict_factor ?health ~column smat }
+  (* Factor site, sparse backend: Singular simulates a failed default
+     factorisation, driving the strict-pivoting rung — a recovery, not
+     an error; Nan_poison poisons the pencil, which rides the cascade
+     down to a structured Singular_pencil at the dense rung. *)
+  let smat, forced_strict =
+    match Fault.fire Fault.Factor with
+    | None -> (smat, false)
+    | Some Fault.Latency ->
+        Fault.latency_sleep ();
+        (smat, false)
+    | Some Fault.Singular -> (smat, true)
+    | Some Fault.Nan_poison -> (Csr.scale Float.nan smat, false)
+    | Some Fault.Enospc -> fault_injected Fault.Factor
+  in
+  if forced_strict then
+    { smat; strict_tried = true; sfac = strict_factor ?health ~column smat }
+  else
+    match Slu.factor smat with
+    | f -> { smat; strict_tried = false; sfac = Sfac f }
+    | exception Slu.Singular _ ->
+        { smat; strict_tried = true; sfac = strict_factor ?health ~column smat }
 
 let solve_col_sparse ?health ~cond_limit ~column blk rhs =
-  let x = sparse_solve blk rhs in
+  let x = fault_column ~column (sparse_solve blk rhs) in
   (* the escalations mutate [blk], so later columns sharing the cached
      block reuse the strongest factorisation reached so far *)
   let escalate x =
@@ -450,7 +548,7 @@ let linear_pencil_sparse ~h ~e ~a = Csr.add ~alpha:(2.0 /. h) ~beta:(-1.0) e a
 
 let solve_dense ?health ?(cond_limit = Health.default_cond_limit) ?fcache
     ?(key_salt = []) ?(pin_factors = false) ?toeplitz ?history_len ?conv_reuse
-    ~terms ~a ~bu () =
+    ?budget ~terms ~a ~bu () =
   Trace.with_span "engine.solve_dense" @@ fun () ->
   let n, m = Mat.dims bu in
   check_terms_dims ~n ~m
@@ -465,6 +563,7 @@ let solve_dense ?health ?(cond_limit = Health.default_cond_limit) ?fcache
   let cols = Array.make m [||] in
   let es = List.map fst terms in
   let build ~column key =
+    budget_factor ~bytes:(n * n * 8) budget;
     Trace.with_span "factor" (fun () ->
         dense_block ~column (dense_pencil ~es ~a key))
   in
@@ -472,6 +571,7 @@ let solve_dense ?health ?(cond_limit = Health.default_cond_limit) ?fcache
   Metrics.incr ~by:m m_columns;
   let t_lap = ref (Metrics.lap_start ()) in
   for i = 0 to m - 1 do
+    budget_column budget;
     let rhs = column_rhs ?conv ~n ~bu ~terms ~apply_e ~cols i in
     let blk = lookup ~column:i (diag_key terms i) in
     cols.(i) <- solve_col_dense ?health ~cond_limit ~column:i blk rhs;
@@ -486,7 +586,7 @@ let solve_dense ?health ?(cond_limit = Health.default_cond_limit) ?fcache
 
 let solve_sparse ?health ?(cond_limit = Health.default_cond_limit) ?fcache
     ?(key_salt = []) ?(pin_factors = false) ?toeplitz ?history_len ?conv_reuse
-    ~terms ~a ~bu () =
+    ?budget ~terms ~a ~bu () =
   Trace.with_span "engine.solve_sparse" @@ fun () ->
   let n, m = Mat.dims bu in
   check_terms_dims ~n ~m
@@ -501,13 +601,15 @@ let solve_sparse ?health ?(cond_limit = Health.default_cond_limit) ?fcache
   let cols = Array.make m [||] in
   let es = List.map fst terms in
   let build ~column key =
-    Trace.with_span "factor" (fun () ->
-        sparse_block ?health ~column (sparse_pencil ~es ~a key))
+    let pencil = sparse_pencil ~es ~a key in
+    budget_factor ~bytes:(Csr.nnz pencil * 16) budget;
+    Trace.with_span "factor" (fun () -> sparse_block ?health ~column pencil)
   in
   let lookup = block_lookup ~pin:pin_factors ~fcache ~key_salt ~build () in
   Metrics.incr ~by:m m_columns;
   let t_lap = ref (Metrics.lap_start ()) in
   for i = 0 to m - 1 do
+    budget_column budget;
     let rhs = column_rhs ?conv ~n ~bu ~terms ~apply_e ~cols i in
     let blk = lookup ~column:i (diag_key terms i) in
     cols.(i) <- solve_col_sparse ?health ~cond_limit ~column:i blk rhs;
@@ -522,7 +624,7 @@ let solve_sparse ?health ?(cond_limit = Health.default_cond_limit) ?fcache
 
 (* order-1 fast path shared between backends: [solve_col h ~column rhs]
    returns the guarded solution of (2/h·E − A) x = rhs *)
-let solve_linear ~steps ~apply_e ~solve_col ~bu =
+let solve_linear ?budget ~steps ~apply_e ~solve_col ~bu () =
   let n, m = Mat.dims bu in
   if Array.length steps <> m then
     invalid_arg "Engine.solve_linear: step count mismatch";
@@ -531,6 +633,7 @@ let solve_linear ~steps ~apply_e ~solve_col ~bu =
   Metrics.incr ~by:m m_columns;
   let t_lap = ref (Metrics.lap_start ()) in
   for i = 0 to m - 1 do
+    budget_column budget;
     let h = steps.(i) in
     let rhs = Array.init n (fun r -> Mat.get bu r i) in
     let sign = if i land 1 = 1 then -1.0 else 1.0 in
@@ -574,12 +677,14 @@ let linear_lookup ~pin ~cache ~factor =
         b
 
 let solve_linear_dense ?health ?(cond_limit = Health.default_cond_limit)
-    ?fcache ?(pin_factors = false) ~steps ~e ~a ~bu () =
+    ?fcache ?(pin_factors = false) ?budget ~steps ~e ~a ~bu () =
   Trace.with_span "engine.solve_linear_dense" @@ fun () ->
   let cache =
     match fcache with Some c -> c | None -> Factor_cache.create ()
   in
+  let n = fst (Mat.dims e) in
   let factor ~column h =
+    budget_factor ~bytes:(n * n * 8) budget;
     Trace.with_span "factor" (fun () ->
         dense_block ~column (linear_pencil_dense ~h ~e ~a))
   in
@@ -587,23 +692,24 @@ let solve_linear_dense ?health ?(cond_limit = Health.default_cond_limit)
   let solve_col h ~column rhs =
     solve_col_dense ?health ~cond_limit ~column (lookup ~column h) rhs
   in
-  solve_linear ~steps ~apply_e:(Mat.mul_vec e) ~solve_col ~bu
+  solve_linear ?budget ~steps ~apply_e:(Mat.mul_vec e) ~solve_col ~bu ()
 
 let solve_linear_sparse ?health ?(cond_limit = Health.default_cond_limit)
-    ?fcache ?(pin_factors = false) ~steps ~e ~a ~bu () =
+    ?fcache ?(pin_factors = false) ?budget ~steps ~e ~a ~bu () =
   Trace.with_span "engine.solve_linear_sparse" @@ fun () ->
   let cache =
     match fcache with Some c -> c | None -> Factor_cache.create ()
   in
   let factor ~column h =
-    Trace.with_span "factor" (fun () ->
-        sparse_block ?health ~column (linear_pencil_sparse ~h ~e ~a))
+    let pencil = linear_pencil_sparse ~h ~e ~a in
+    budget_factor ~bytes:(Csr.nnz pencil * 16) budget;
+    Trace.with_span "factor" (fun () -> sparse_block ?health ~column pencil)
   in
   let lookup = linear_lookup ~pin:pin_factors ~cache ~factor in
   let solve_col h ~column rhs =
     solve_col_sparse ?health ~cond_limit ~column (lookup ~column h) rhs
   in
-  solve_linear ~steps ~apply_e:(Csr.mul_vec e) ~solve_col ~bu
+  solve_linear ?budget ~steps ~apply_e:(Csr.mul_vec e) ~solve_col ~bu ()
 
 let integral_rhs ~one ~e_x0 ~bu_int =
   let n, m = Mat.dims bu_int in
@@ -624,7 +730,7 @@ let check_integral_h ~m h_mat =
 
 let solve_integral_dense ?health ?(cond_limit = Health.default_cond_limit)
     ?fcache ?(key_salt = []) ?(pin_factors = false) ?toeplitz ?history_len
-    ~h_mat ~one ~e ~a ~bu_int ~x0 () =
+    ?budget ~h_mat ~one ~e ~a ~bu_int ~x0 () =
   Trace.with_span "engine.solve_integral_dense" @@ fun () ->
   let n, m = Mat.dims bu_int in
   check_integral_h ~m h_mat;
@@ -639,12 +745,14 @@ let solve_integral_dense ?health ?(cond_limit = Health.default_cond_limit)
   let conv = make_conv ?history_len ~toeplitz ~nterms:1 ~n ~m () in
   let build ~column key =
     let hii = List.hd key in
+    budget_factor ~bytes:(n * n * 8) budget;
     Trace.with_span "factor" (fun () ->
         dense_block ~column (Mat.sub e (Mat.scale hii a)))
   in
   let lookup = block_lookup ~pin:pin_factors ~fcache ~key_salt ~build () in
   Metrics.incr ~by:m m_columns;
   for i = 0 to m - 1 do
+    budget_column budget;
     let rhs =
       column_rhs ?conv ~sign:1.0 ~n ~bu:rhs_base ~terms ~apply_e ~cols i
     in
@@ -659,7 +767,7 @@ let solve_integral_dense ?health ?(cond_limit = Health.default_cond_limit)
 
 let solve_integral_sparse ?health ?(cond_limit = Health.default_cond_limit)
     ?fcache ?(key_salt = []) ?(pin_factors = false) ?toeplitz ?history_len
-    ~h_mat ~one ~e ~a ~bu_int ~x0 () =
+    ?budget ~h_mat ~one ~e ~a ~bu_int ~x0 () =
   Trace.with_span "engine.solve_integral_sparse" @@ fun () ->
   let n, m = Mat.dims bu_int in
   check_integral_h ~m h_mat;
@@ -670,12 +778,14 @@ let solve_integral_sparse ?health ?(cond_limit = Health.default_cond_limit)
   let conv = make_conv ?history_len ~toeplitz ~nterms:1 ~n ~m () in
   let build ~column key =
     let hii = List.hd key in
-    Trace.with_span "factor" (fun () ->
-        sparse_block ?health ~column (Csr.add ~alpha:1.0 ~beta:(-.hii) e a))
+    let pencil = Csr.add ~alpha:1.0 ~beta:(-.hii) e a in
+    budget_factor ~bytes:(Csr.nnz pencil * 16) budget;
+    Trace.with_span "factor" (fun () -> sparse_block ?health ~column pencil)
   in
   let lookup = block_lookup ~pin:pin_factors ~fcache ~key_salt ~build () in
   Metrics.incr ~by:m m_columns;
   for i = 0 to m - 1 do
+    budget_column budget;
     let rhs =
       column_rhs ?conv ~sign:1.0 ~n ~bu:rhs_base ~terms ~apply_e ~cols i
     in

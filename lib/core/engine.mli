@@ -142,6 +142,7 @@ val solve_dense :
   ?toeplitz:float array list ->
   ?history_len:int ->
   ?conv_reuse:Fft.Blocked_conv.t ->
+  ?budget:Budget.t ->
   terms:(Mat.t * Mat.t) list ->
   a:Mat.t ->
   bu:Mat.t ->
@@ -150,6 +151,17 @@ val solve_dense :
 (** [terms] are [(E_k, D_k)] pairs. Raises [Invalid_argument] on
     dimension mismatches, {!Opm_error.Error} if a diagonal block is
     singular or a column stays non-finite.
+
+    [?budget] (here and on every [solve_*] below) arms cooperative
+    resource enforcement: the wall-clock deadline is checked before
+    every column, and each factorisation is charged (with an estimated
+    footprint — [n²·8] bytes dense, [nnz·16] sparse) before it runs;
+    on breach a structured [Opm_error.Deadline_exceeded] /
+    [Budget_exhausted] is raised. Without a budget the hook is one
+    [Option] match per column. The engine also carries three
+    fault-injection sites ([factor], [column-solve], [fft-block], see
+    {i Opm_robust.Fault}); when no plan is armed each site is a single
+    atomic load.
 
     [?fcache] substitutes a caller-owned cross-call cache for the
     per-call one, so repeated solves against the same pencil (the
@@ -183,6 +195,7 @@ val solve_sparse :
   ?toeplitz:float array list ->
   ?history_len:int ->
   ?conv_reuse:Fft.Blocked_conv.t ->
+  ?budget:Budget.t ->
   terms:(Csr.t * Mat.t) list ->
   a:Csr.t ->
   bu:Mat.t ->
@@ -202,6 +215,7 @@ val solve_linear_dense :
   ?cond_limit:float ->
   ?fcache:(float list, dense_block) Factor_cache.t ->
   ?pin_factors:bool ->
+  ?budget:Budget.t ->
   steps:float array ->
   e:Mat.t ->
   a:Mat.t ->
@@ -226,6 +240,7 @@ val solve_linear_sparse :
   ?cond_limit:float ->
   ?fcache:(float list, sparse_block) Factor_cache.t ->
   ?pin_factors:bool ->
+  ?budget:Budget.t ->
   steps:float array ->
   e:Csr.t ->
   a:Csr.t ->
@@ -255,6 +270,7 @@ val solve_integral_dense :
   ?pin_factors:bool ->
   ?toeplitz:float array list ->
   ?history_len:int ->
+  ?budget:Budget.t ->
   h_mat:Mat.t -> one:Vec.t -> e:Mat.t -> a:Mat.t -> bu_int:Mat.t ->
   x0:Vec.t -> unit -> Mat.t
 (** Column-by-column solve of the integral form; requires [h_mat] upper
@@ -276,6 +292,7 @@ val solve_integral_sparse :
   ?pin_factors:bool ->
   ?toeplitz:float array list ->
   ?history_len:int ->
+  ?budget:Budget.t ->
   h_mat:Mat.t -> one:Vec.t -> e:Csr.t -> a:Csr.t -> bu_int:Mat.t ->
   x0:Vec.t -> unit -> Mat.t
 (** Sparse-backend version of {!solve_integral_dense} (diagonal blocks

@@ -20,24 +20,28 @@ let bu_matrix ~grid sys sources = Compiled_model.bu_matrix ~grid sys sources
    historical one-shot path built it, so cold behaviour is
    bit-identical while sweep callers can hold on to the compiled model
    and pay the setup once. *)
-let simulate_multi_term ?(backend = `Auto) ?health ?x0 ?window ?memory_len
-    ~grid (sys : Multi_term.t) sources =
+let simulate_multi_term ?(backend = `Auto) ?health ?budget ?checkpoint
+    ?checkpoint_every ?resume_from ?x0 ?window ?memory_len ~grid
+    (sys : Multi_term.t) sources =
   Trace.with_span "opm.simulate" @@ fun () ->
   let t =
     Compiled_model.compile ~backend ?health ?window ?memory_len ~grid sys
   in
-  Compiled_model.solve ?health ?x0 t sources
+  Compiled_model.solve ?health ?budget ?checkpoint ?checkpoint_every
+    ?resume_from ?x0 t sources
 
-let simulate_fractional ?backend ?health ?x0 ?window ?memory_len ~grid ~alpha
-    sys sources =
-  simulate_multi_term ?backend ?health ?x0 ?window ?memory_len ~grid
+let simulate_fractional ?backend ?health ?budget ?checkpoint ?checkpoint_every
+    ?resume_from ?x0 ?window ?memory_len ~grid ~alpha sys sources =
+  simulate_multi_term ?backend ?health ?budget ?checkpoint ?checkpoint_every
+    ?resume_from ?x0 ?window ?memory_len ~grid
     (Multi_term.of_fractional ~alpha sys)
     sources
 
-let simulate_linear ?backend ?health ?x0 ?window ?memory_len ~grid sys sources
-    =
-  simulate_multi_term ?backend ?health ?x0 ?window ?memory_len ~grid
-    (Multi_term.of_linear sys) sources
+let simulate_linear ?backend ?health ?budget ?checkpoint ?checkpoint_every
+    ?resume_from ?x0 ?window ?memory_len ~grid sys sources =
+  simulate_multi_term ?backend ?health ?budget ?checkpoint ?checkpoint_every
+    ?resume_from ?x0 ?window ?memory_len ~grid (Multi_term.of_linear sys)
+    sources
 
 let simulate_linear_kron ~grid (sys : Descriptor.t) sources =
   let mt = Multi_term.of_linear sys in
@@ -52,8 +56,8 @@ let simulate_linear_kron ~grid (sys : Descriptor.t) sources =
     ~state_names:sys.Descriptor.state_names
     ~output_names:sys.Descriptor.output_names ()
 
-let simulate_linear_integral ?(backend = `Auto) ?health ?x0 ?window ~grid
-    (sys : Descriptor.t) sources =
+let simulate_linear_integral ?(backend = `Auto) ?health ?budget ?x0 ?window
+    ~grid (sys : Descriptor.t) sources =
   Trace.with_span "opm.simulate_integral" @@ fun () ->
   let mt = Multi_term.of_linear sys in
   let bu = bu_matrix ~grid mt sources in
@@ -77,12 +81,12 @@ let simulate_linear_integral ?(backend = `Auto) ?health ?x0 ?window ~grid
     let one = Array.make m 1.0 in
     match backend with
     | `Dense ->
-        Engine.solve_integral_dense ?health ?toeplitz:(toeplitz_of m) ~h_mat
-          ~one ~e:(Descriptor.e_dense sys) ~a:(Descriptor.a_dense sys)
+        Engine.solve_integral_dense ?health ?toeplitz:(toeplitz_of m) ?budget
+          ~h_mat ~one ~e:(Descriptor.e_dense sys) ~a:(Descriptor.a_dense sys)
           ~bu_int ~x0 ()
     | `Sparse ->
-        Engine.solve_integral_sparse ?health ?toeplitz:(toeplitz_of m) ~h_mat
-          ~one ~e:sys.Descriptor.e ~a:sys.Descriptor.a ~bu_int ~x0 ()
+        Engine.solve_integral_sparse ?health ?toeplitz:(toeplitz_of m) ?budget
+          ~h_mat ~one ~e:sys.Descriptor.e ~a:sys.Descriptor.a ~bu_int ~x0 ()
   in
   (* Windowed streaming of the integral form. On a uniform grid the
      history weights are constant — H_{ji} = h for every j < i — so the
@@ -106,6 +110,9 @@ let simulate_linear_integral ?(backend = `Auto) ?health ?x0 ?window ~grid
     (* running sum h·Σ_{j<s} x_j, the carried integral state *)
     let s_pre = Array.make n 0.0 in
     for win = 0 to nwin - 1 do
+      (match budget with
+      | Some b -> Opm_robust.Budget.check_deadline_now b ~site:"window.boundary"
+      | None -> ());
       let s = win * w in
       let wlen = min w (m - s) in
       Trace.with_span "window" @@ fun () ->
@@ -136,12 +143,14 @@ let simulate_linear_integral ?(backend = `Auto) ?health ?x0 ?window ~grid
         match backend with
         | `Dense ->
             Engine.solve_integral_dense ?health ~fcache:fc_d
-              ~pin_factors:true ?toeplitz ~history_len:m ~h_mat:h_win ~one
-              ~e:(Lazy.force e_d) ~a:(Lazy.force a_d) ~bu_int:bu_win ~x0 ()
+              ~pin_factors:true ?toeplitz ~history_len:m ?budget ~h_mat:h_win
+              ~one ~e:(Lazy.force e_d) ~a:(Lazy.force a_d) ~bu_int:bu_win ~x0
+              ()
         | `Sparse ->
             Engine.solve_integral_sparse ?health ~fcache:fc_s
-              ~pin_factors:true ?toeplitz ~history_len:m ~h_mat:h_win ~one
-              ~e:sys.Descriptor.e ~a:sys.Descriptor.a ~bu_int:bu_win ~x0 ()
+              ~pin_factors:true ?toeplitz ~history_len:m ?budget ~h_mat:h_win
+              ~one ~e:sys.Descriptor.e ~a:sys.Descriptor.a ~bu_int:bu_win ~x0
+              ()
       in
       for l = 0 to wlen - 1 do
         for r = 0 to n - 1 do

@@ -28,13 +28,25 @@ open Opm_signal
     (default: full tail = exact). Requires a uniform grid. [w ≥ m] (and
     [?window] omitted) runs the ordinary global solve, so the
     degenerate window is bit-identical to an unwindowed run; raises
-    [Invalid_argument] when [w < 1]. *)
+    [Invalid_argument] when [w < 1].
+
+    Crash safety: the transient entry points accept [?budget]
+    (cooperative deadline/factor/heap enforcement — see
+    {!Opm_robust.Budget}) and, on windowed runs, [?checkpoint]/
+    [?checkpoint_every]/[?resume_from] (resumable window-boundary
+    snapshots — see {!Window.solve}; requesting a checkpoint without
+    [?window] raises [Invalid_argument]). A mid-run breach on a windowed
+    solve raises {!Window.Interrupted} with the completed prefix. *)
 
 type backend = [ `Auto | `Dense | `Sparse ]
 
 val simulate_linear :
   ?backend:backend ->
   ?health:Opm_robust.Health.t ->
+  ?budget:Opm_robust.Budget.t ->
+  ?checkpoint:string ->
+  ?checkpoint_every:int ->
+  ?resume_from:string ->
   ?x0:Opm_numkit.Vec.t ->
   ?window:int ->
   ?memory_len:int ->
@@ -52,6 +64,10 @@ val simulate_linear :
 val simulate_fractional :
   ?backend:backend ->
   ?health:Opm_robust.Health.t ->
+  ?budget:Opm_robust.Budget.t ->
+  ?checkpoint:string ->
+  ?checkpoint_every:int ->
+  ?resume_from:string ->
   ?x0:Opm_numkit.Vec.t ->
   ?window:int ->
   ?memory_len:int ->
@@ -69,6 +85,10 @@ val simulate_fractional :
 val simulate_multi_term :
   ?backend:backend ->
   ?health:Opm_robust.Health.t ->
+  ?budget:Opm_robust.Budget.t ->
+  ?checkpoint:string ->
+  ?checkpoint_every:int ->
+  ?resume_from:string ->
   ?x0:Opm_numkit.Vec.t ->
   ?window:int ->
   ?memory_len:int ->
@@ -89,6 +109,7 @@ val simulate_linear_kron :
 val simulate_linear_integral :
   ?backend:backend ->
   ?health:Opm_robust.Health.t ->
+  ?budget:Opm_robust.Budget.t ->
   ?x0:Opm_numkit.Vec.t ->
   ?window:int ->
   grid:Grid.t ->

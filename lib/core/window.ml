@@ -1,6 +1,8 @@
 open Opm_numkit
 open Opm_sparse
 open Opm_basis
+open Opm_robust
+module Json = Opm_obs.Json
 module Metrics = Opm_obs.Metrics
 module Trace = Opm_obs.Trace
 
@@ -12,6 +14,49 @@ type stats = {
   factor_misses : int;
   handoff_seconds : float;
 }
+
+exception
+  Interrupted of {
+    error : Opm_error.t;
+    partial : Mat.t;
+    completed_windows : int;
+    checkpoint : string option;
+  }
+
+let () =
+  Printexc.register_printer (function
+    | Interrupted { error; partial; completed_windows; checkpoint } ->
+        let _, cols = Mat.dims partial in
+        Some
+          (Printf.sprintf
+             "Window.Interrupted: %s [%d window(s) / %d column(s) completed%s]"
+             (Opm_error.to_string error) completed_windows cols
+             (match checkpoint with
+             | Some p -> Printf.sprintf "; resumable checkpoint at %S" p
+             | None -> ""))
+    | _ -> None)
+
+(* Window-handoff fault site: Nan_poison corrupts the carried state
+   {e after} the window's columns are safely appended (so the NaN must
+   surface as a structured error in a later window, never in delivered
+   data); Latency sleeps; the other kinds raise Fault_injected. *)
+let fault_handoff () =
+  match Fault.fire Fault.Window_handoff with
+  | None -> false
+  | Some Fault.Latency ->
+      Fault.latency_sleep ();
+      false
+  | Some Fault.Nan_poison -> true
+  | Some (Fault.Singular | Fault.Enospc) ->
+      Opm_error.raise_
+        (Opm_error.Fault_injected
+           {
+             site = Fault.site_to_string Fault.Window_handoff;
+             kind =
+               (match Fault.armed () with
+               | Some p -> Fault.kind_to_string p.kind
+               | None -> "unknown");
+           })
 
 (* per-term carried state of the general path: the ρ_α = ρ_n ⊛ ρ_β
    split (see run_general below) plus the ring of transformed history
@@ -66,7 +111,8 @@ let truncation_mass ~alpha ~lags ~memory_len =
   end
 
 let solve ?(backend = `Auto) ?health ?memory_len ?on_window ?fc_d ?fc_s
-    ?series_cache ~window:w ~grid (sys : Multi_term.t) ~bu =
+    ?series_cache ?budget ?checkpoint ?checkpoint_every ?resume_from
+    ~window:w ~grid (sys : Multi_term.t) ~bu =
   Trace.with_span "window.solve" @@ fun () ->
   let m = Grid.size grid in
   let n = Multi_term.order sys in
@@ -89,8 +135,173 @@ let solve ?(backend = `Auto) ?health ?memory_len ?on_window ?fc_d ?fc_s
   let w = min w m in
   let nwin = (m + w - 1) / w in
   let backend = pick_backend backend n in
+  let cp_every =
+    match checkpoint_every with
+    | None -> 1
+    | Some k ->
+        if k < 1 then invalid_arg "Window.solve: checkpoint_every < 1";
+        k
+  in
   let builder = Sim_result.Builder.create ~n in
   let handoff = ref 0.0 in
+  let completed = ref 0 in
+  let last_checkpoint = ref None in
+  let rpath = Option.value resume_from ~default:"<checkpoint>" in
+  let cp_fail path message =
+    Opm_error.raise_ (Opm_error.Checkpoint_error { path; message })
+  in
+  (* The fingerprint ties a checkpoint to everything the resumed run
+     must share for bit-identity: dispatch kind, dimensions, effective
+     window/memory widths, the exact step and α list (as IEEE-754
+     bits), backend, and a digest of the full input matrix. Computed
+     lazily — a run with neither checkpointing nor resume never pays
+     the O(n·m) digest. *)
+  let kind_of_sys =
+    match (sys.Multi_term.terms, sys.Multi_term.input_order) with
+    | [ { Multi_term.coeff = _; alpha = 1.0 } ], 0 -> "linear"
+    | _ -> "general"
+  in
+  let fingerprint =
+    lazy
+      (let bu_flat =
+         Array.init (n * m) (fun k -> Mat.get bu (k mod n) (k / n))
+       in
+       let alphas =
+         Array.of_list
+           (List.map (fun t -> t.Multi_term.alpha) sys.Multi_term.terms)
+       in
+       Json.Obj
+         [
+           ("kind", Json.String kind_of_sys);
+           ("n", Json.Int n);
+           ("m", Json.Int m);
+           ("w", Json.Int w);
+           ("memory_len", Json.Int k_eff);
+           ("h", Checkpoint.encode_floats [| h |]);
+           ("alphas", Checkpoint.encode_floats alphas);
+           ("input_order", Json.Int sys.Multi_term.input_order);
+           ( "backend",
+             Json.String
+               (match backend with `Dense -> "dense" | `Sparse -> "sparse") );
+           ( "bu",
+             Json.String
+               (Checkpoint.checksum_of_payload (Checkpoint.encode_floats bu_flat))
+           );
+         ])
+  in
+  let encode_mat x =
+    let xn, xm = Mat.dims x in
+    Json.Obj
+      [
+        ("rows", Json.Int xn);
+        ("cols", Json.Int xm);
+        ( "data",
+          Checkpoint.encode_floats
+            (Array.init (xn * xm) (fun k -> Mat.get x (k mod xn) (k / xn))) );
+      ]
+  in
+  let decode_mat j =
+    match
+      ( Option.bind (Json.member "rows" j) Json.to_int_opt,
+        Option.bind (Json.member "cols" j) Json.to_int_opt,
+        Json.member "data" j )
+    with
+    | Some r, Some c, Some d when r >= 0 && c >= 0 ->
+        let a =
+          try Checkpoint.decode_floats d
+          with Invalid_argument msg -> cp_fail rpath msg
+        in
+        if Array.length a <> r * c then
+          cp_fail rpath "prefix data does not match its declared shape";
+        Mat.init r c (fun i j -> a.((j * r) + i))
+    | _ -> cp_fail rpath "malformed prefix matrix"
+  in
+  (* ring slots: an untouched slot is a zero-length array *)
+  let encode_slots slots =
+    Json.List (Array.to_list (Array.map Checkpoint.encode_floats slots))
+  in
+  let decode_slots ~len j =
+    match Json.to_list_opt j with
+    | Some l when List.length l = len ->
+        Array.of_list
+          (List.map
+             (fun e ->
+               let a =
+                 try Checkpoint.decode_floats e
+                 with Invalid_argument msg -> cp_fail rpath msg
+               in
+               if Array.length a <> 0 && Array.length a <> n then
+                 cp_fail rpath "ring slot has the wrong length";
+               a)
+             l)
+    | _ -> cp_fail rpath "malformed ring encoding"
+  in
+  let maybe_checkpoint ~win state =
+    match checkpoint with
+    | None -> ()
+    | Some path ->
+        if (win + 1) mod cp_every = 0 || win = nwin - 1 then begin
+          let payload =
+            Json.Obj
+              [
+                ("fingerprint", Lazy.force fingerprint);
+                ("next_window", Json.Int (win + 1));
+                ("handoff", Checkpoint.encode_floats [| !handoff |]);
+                ("prefix", encode_mat (Sim_result.Builder.to_mat builder));
+                ("state", state ());
+              ]
+          in
+          Checkpoint.save ~path payload;
+          last_checkpoint := Some path
+        end
+  in
+  let resume_state =
+    match resume_from with
+    | None -> None
+    | Some path ->
+        let payload = Checkpoint.load ~path in
+        (match Json.member "fingerprint" payload with
+        | Some fp when fp = Lazy.force fingerprint -> ()
+        | Some _ ->
+            cp_fail path
+              "fingerprint mismatch: the checkpoint was written by a run with \
+               a different system, grid, window width, memory length, backend \
+               or input matrix"
+        | None -> cp_fail path "missing fingerprint");
+        let next =
+          match
+            Option.bind (Json.member "next_window" payload) Json.to_int_opt
+          with
+          | Some v when v >= 0 && v <= nwin -> v
+          | _ -> cp_fail path "missing or out-of-range next_window"
+        in
+        (match Json.member "handoff" payload with
+        | Some hj -> (
+            match
+              try Checkpoint.decode_floats hj with Invalid_argument _ -> [||]
+            with
+            | [| s |] -> handoff := s
+            | _ -> cp_fail path "malformed handoff")
+        | None -> cp_fail path "missing handoff");
+        let prefix =
+          match Json.member "prefix" payload with
+          | Some p -> decode_mat p
+          | None -> cp_fail path "missing prefix"
+        in
+        let pn, pm = Mat.dims prefix in
+        if pn <> n || pm <> min (next * w) m then
+          cp_fail path "prefix shape disagrees with next_window";
+        if pm > 0 then Sim_result.Builder.append builder prefix;
+        let state =
+          match Json.member "state" payload with
+          | Some s -> s
+          | None -> cp_fail path "missing state"
+        in
+        completed := next;
+        last_checkpoint := Some path;
+        Some (next, state)
+  in
+  let start_win = match resume_state with Some (v, _) -> v | None -> 0 in
   (* caller-owned caches (a compiled model prefactors and pins into
      them) fall back to per-call private ones; the per-call stats below
      are deltas, so shared caches report this call's reuse only *)
@@ -120,7 +331,13 @@ let solve ?(backend = `Auto) ?health ?memory_len ?on_window ?fc_d ?fc_s
     Metrics.incr m_windows;
     Metrics.observe h_handoff dt;
     Sim_result.Builder.append builder x_win;
+    completed := !completed + 1;
     Option.iter (fun f -> f ~index ~start x_win) on_window
+  in
+  let budget_window () =
+    match budget with
+    | None -> ()
+    | Some b -> Budget.check_deadline_now b ~site:"window.boundary"
   in
   (* exact order-1 path: carry the O(n) endpoint state across windows
      instead of a history tail (the order-1 ρ weights alternate without
@@ -134,7 +351,23 @@ let solve ?(backend = `Auto) ?health ?memory_len ?on_window ?fc_d ?fc_s
     let e_dense = lazy (Csr.to_dense e) in
     let a_dense = lazy (Csr.to_dense a) in
     let x_off = Array.make n 0.0 in
-    for win = 0 to nwin - 1 do
+    (match resume_state with
+    | None -> ()
+    | Some (_, st) -> (
+        match Json.member "x_off" st with
+        | Some xj ->
+            let a =
+              try Checkpoint.decode_floats xj
+              with Invalid_argument msg -> cp_fail rpath msg
+            in
+            if Array.length a <> n then cp_fail rpath "x_off length mismatch";
+            Array.blit a 0 x_off 0 n
+        | None -> cp_fail rpath "missing x_off state"));
+    let state_json () =
+      Json.Obj [ ("x_off", Checkpoint.encode_floats x_off) ]
+    in
+    for win = start_win to nwin - 1 do
+      budget_window ();
       let s = win * w in
       let wlen = min w (m - s) in
       Trace.with_span "window" (fun () ->
@@ -149,10 +382,10 @@ let solve ?(backend = `Auto) ?health ?memory_len ?on_window ?fc_d ?fc_s
             match backend with
             | `Sparse ->
                 Engine.solve_linear_sparse ?health ~fcache:fc_s
-                  ~pin_factors:true ~steps ~e ~a ~bu:bu_win ()
+                  ~pin_factors:true ?budget ~steps ~e ~a ~bu:bu_win ()
             | `Dense ->
                 Engine.solve_linear_dense ?health ~fcache:fc_d
-                  ~pin_factors:true ~steps ~e:(Lazy.force e_dense)
+                  ~pin_factors:true ?budget ~steps ~e:(Lazy.force e_dense)
                   ~a:(Lazy.force a_dense) ~bu:bu_win ()
           in
           let t1 = Unix.gettimeofday () in
@@ -169,7 +402,9 @@ let solve ?(backend = `Auto) ?health ?memory_len ?on_window ?fc_d ?fc_s
             x_off.(r) <- x_off.(r) +. (2.0 *. !zend)
           done;
           let dt = dt_pre +. (Unix.gettimeofday () -. t1) in
-          finish_window ~index:win ~start:s ~dt x_win)
+          finish_window ~index:win ~start:s ~dt x_win;
+          maybe_checkpoint ~win state_json;
+          if fault_handoff () then x_off.(0) <- Float.nan)
     done
   in
   (* general path: the tail of the Toeplitz history becomes a RHS
@@ -259,7 +494,38 @@ let solve ?(backend = `Auto) ?health ?memory_len ?on_window ?fc_d ?fc_s
     let xr = max max_nint 1 in
     let xring = Array.make xr [||] in
     let zero_vec = Array.make n 0.0 in
-    for win = 0 to nwin - 1 do
+    (match resume_state with
+    | None -> ()
+    | Some (_, st) ->
+        (match Json.member "xring" st with
+        | Some xj ->
+            let slots = decode_slots ~len:xr xj in
+            Array.blit slots 0 xring 0 xr
+        | None -> cp_fail rpath "missing xring state");
+        (match Option.map Json.to_list_opt (Json.member "terms" st) with
+        | Some (Some l) when List.length l = List.length term_data ->
+            List.iter2
+              (fun ti tj ->
+                match Json.member "yring" tj with
+                | Some yj ->
+                    let slots = decode_slots ~len:ti.yr yj in
+                    Array.blit slots 0 ti.yring 0 ti.yr
+                | None -> cp_fail rpath "missing yring state")
+              term_data l
+        | _ -> cp_fail rpath "malformed per-term state"));
+    let state_json () =
+      Json.Obj
+        [
+          ("xring", encode_slots xring);
+          ( "terms",
+            Json.List
+              (List.map
+                 (fun ti -> Json.Obj [ ("yring", encode_slots ti.yring) ])
+                 term_data) );
+        ]
+    in
+    for win = start_win to nwin - 1 do
+      budget_window ();
       let s = win * w in
       let wlen = min w (m - s) in
       Trace.with_span "window" (fun () ->
@@ -370,7 +636,7 @@ let solve ?(backend = `Auto) ?health ?memory_len ?on_window ?fc_d ?fc_s
             match backend with
             | `Sparse ->
                 Engine.solve_sparse ?health ~fcache:fc_s ~key_salt
-                  ~pin_factors:true ?toeplitz ~history_len:m
+                  ~pin_factors:true ?toeplitz ~history_len:m ?budget
                   ~terms:
                     (List.map2
                        (fun { Multi_term.coeff; _ } dm -> (coeff, dm))
@@ -378,7 +644,7 @@ let solve ?(backend = `Auto) ?health ?memory_len ?on_window ?fc_d ?fc_s
                   ~a:sys.Multi_term.a ~bu:bu_win ()
             | `Dense ->
                 Engine.solve_dense ?health ~fcache:fc_d ~key_salt
-                  ~pin_factors:true ?toeplitz ~history_len:m
+                  ~pin_factors:true ?toeplitz ~history_len:m ?budget
                   ~terms:(List.map2 (fun e dm -> (e, dm)) (Lazy.force dense_coeffs) d)
                   ~a:(Lazy.force a_dense) ~bu:bu_win ()
           in
@@ -430,14 +696,37 @@ let solve ?(backend = `Auto) ?health ?memory_len ?on_window ?fc_d ?fc_s
               xring.((s + l) mod xr) <- xcols.(l)
             done;
           let dt = dt_pre +. (Unix.gettimeofday () -. t1) in
-          finish_window ~index:win ~start:s ~dt x_win)
+          finish_window ~index:win ~start:s ~dt x_win;
+          maybe_checkpoint ~win state_json;
+          if fault_handoff () then
+            match term_data with
+            | ti :: _ ->
+                let slot = ti.yring.((s + wlen - 1) mod ti.yr) in
+                if Array.length slot > 0 then slot.(0) <- Float.nan
+            | [] -> ())
     done
   in
   (* dispatch mirrors Opm.simulate_multi_term so that windowed and
-     global runs take the same per-column arithmetic *)
-  (match (sys.Multi_term.terms, sys.Multi_term.input_order) with
-  | [ { Multi_term.coeff = e; alpha = 1.0 } ], 0 -> run_linear e
-  | _ -> run_general ());
+     global runs take the same per-column arithmetic; a budget or
+     checkpoint-write breach mid-run surfaces as [Interrupted] carrying
+     the completed-window prefix and the last good checkpoint — the
+     caller gets a usable result, not nothing *)
+  (try
+     match (sys.Multi_term.terms, sys.Multi_term.input_order) with
+     | [ { Multi_term.coeff = e; alpha = 1.0 } ], 0 -> run_linear e
+     | _ -> run_general ()
+   with
+  | Opm_error.Error
+      (( Opm_error.Deadline_exceeded _ | Opm_error.Budget_exhausted _
+       | Opm_error.Io_error _ ) as error) ->
+      raise
+        (Interrupted
+           {
+             error;
+             partial = Sim_result.Builder.to_mat builder;
+             completed_windows = !completed;
+             checkpoint = !last_checkpoint;
+           }));
   let hits =
     Engine.Factor_cache.hits fc_d + Engine.Factor_cache.hits fc_s - hits0
   in

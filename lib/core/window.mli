@@ -89,6 +89,26 @@ val truncation_mass :
     windowed-vs-global relative error of a truncated solve is
     empirically below this mass (see [test/test_window.ml]). *)
 
+exception
+  Interrupted of {
+    error : Opm_robust.Opm_error.t;
+        (** the breach: [Deadline_exceeded], [Budget_exhausted], or an
+            [Io_error] from a checkpoint write *)
+    partial : Mat.t;
+        (** every completed window's columns, [n × (completed·w)] — a
+            usable prefix of the horizon, never a partially solved
+            window *)
+    completed_windows : int;
+    checkpoint : string option;
+        (** path of the last checkpoint successfully written this run
+            (or restored from), if any — pass it back as [~resume_from]
+            to continue *)
+  }
+(** Raised by {!solve} when a {!Opm_robust.Budget} breach or a
+    checkpoint-write failure interrupts a run at a window or column
+    boundary. The in-flight window is discarded; everything before it is
+    in [partial]. *)
+
 val solve :
   ?backend:[ `Auto | `Dense | `Sparse ] ->
   ?health:Opm_robust.Health.t ->
@@ -97,6 +117,10 @@ val solve :
   ?fc_d:(float list, Engine.dense_block) Engine.Factor_cache.t ->
   ?fc_s:(float list, Engine.sparse_block) Engine.Factor_cache.t ->
   ?series_cache:(float * int, float array) Hashtbl.t ->
+  ?budget:Opm_robust.Budget.t ->
+  ?checkpoint:string ->
+  ?checkpoint_every:int ->
+  ?resume_from:string ->
   window:int ->
   grid:Opm_basis.Grid.t ->
   Multi_term.t ->
@@ -129,7 +153,33 @@ val solve :
     The [stats] hits/misses are deltas over this call when the caches
     are shared.
 
-    Raises [Invalid_argument] when [window < 1], [memory_len < 0], the
-    grid is not uniform, or [bu] disagrees with the system order and
-    grid size. [window ≥ m] degenerates to a single window covering the
-    horizon. *)
+    {2 Crash safety}
+
+    [?budget] threads a {!Opm_robust.Budget} through the run: the
+    wall-clock deadline is checked at every window boundary (site
+    ["window.boundary"]) and, via the engine, at every column (site
+    ["engine.column"]); factorisation count and heap-byte caps are
+    charged where pencils are built. A breach raises {!Interrupted}
+    carrying the completed-window prefix.
+
+    [?checkpoint] writes a resumable snapshot (schema
+    ["opm-checkpoint-v1"], see {!Opm_robust.Checkpoint}) after every
+    [?checkpoint_every]-th window (default 1) and after the final one.
+    The payload holds the cross-window handoff state — the order-1
+    endpoint vector or the integer-recurrence rings — plus the solved
+    column prefix and a fingerprint of (system kind, [n], [m], [w],
+    effective memory length, [h], the [α] list, input order, backend,
+    and a digest of [bu]). Writes are atomic (tmp + rename), so the file
+    on disk is always a complete, checksummed envelope.
+
+    [?resume_from] loads such a snapshot and continues from its
+    [next_window]; the fingerprint must match the current call exactly
+    (structural equality) or [Checkpoint_error] is raised. A resumed run
+    is bit-identical to the uninterrupted one — the restored state is
+    hex-encoded IEEE-754 bits, not decimal round-trips. [?on_window] is
+    {e not} re-fired for windows restored from the snapshot.
+
+    Raises [Invalid_argument] when [window < 1], [memory_len < 0],
+    [checkpoint_every < 1], the grid is not uniform, or [bu] disagrees
+    with the system order and grid size. [window ≥ m] degenerates to a
+    single window covering the horizon. *)

@@ -1,6 +1,6 @@
 let schema_version = "opm-report-v1"
 
-let make ?health ?(run = []) () =
+let make ?health ?resilience ?(run = []) () =
   let trace =
     let n = Trace.span_count () in
     if n = 0 then Json.Obj [ ("spans", Json.Int 0) ]
@@ -18,4 +18,5 @@ let make ?health ?(run = []) () =
       ("metrics", Metrics.snapshot ());
       ("trace", trace);
       ("health", Option.value health ~default:Json.Null);
+      ("resilience", Option.value resilience ~default:Json.Null);
     ]

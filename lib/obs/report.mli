@@ -13,10 +13,15 @@ val schema_version : string
 
 val make :
   ?health:Json.t ->
+  ?resilience:Json.t ->
   ?run:(string * Json.t) list ->
   unit ->
   Json.t
 (** [{"schema": "opm-report-v1", "run": {…}, "metrics": {…},
-     "trace": {"spans": n, "profile": "…"}, "health": {…} | null}].
+     "trace": {"spans": n, "profile": "…"}, "health": {…} | null,
+     "resilience": {…} | null}].
     The metrics snapshot is taken at call time; the trace profile is
-    included only when spans were recorded. *)
+    included only when spans were recorded. [resilience] arrives
+    pre-serialised like [health] (built by the driver from
+    [Opm_robust.Fault.stats_json]/[Budget.to_json] plus checkpoint lap
+    timings — the dependency points from [robust] to [obs]). *)

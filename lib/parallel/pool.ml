@@ -21,6 +21,8 @@
    jobs run inline on the caller. *)
 
 module Metrics = Opm_obs.Metrics
+module Fault = Opm_robust.Fault
+module Opm_error = Opm_robust.Opm_error
 
 (* observability instruments (no-ops unless metrics are enabled) *)
 let m_jobs = Metrics.counter "pool.jobs"
@@ -28,6 +30,24 @@ let m_inline_jobs = Metrics.counter "pool.inline_jobs"
 let m_chunks = Metrics.counter "pool.chunks"
 let h_chunk_seconds = Metrics.histogram "pool.chunk_seconds"
 let h_job_wait_seconds = Metrics.histogram "pool.job_wait_seconds"
+
+(* Seeded fault site: fired once per dispatched chunk (pool and inline
+   paths alike — the counters are atomic, so worker domains race
+   safely). The raised [Fault_injected] travels through the same
+   per-chunk error machinery as a genuine job exception, so the
+   resilience harness exercises exactly the propagation a real crash
+   would take. *)
+let fire_dispatch () =
+  match Fault.fire Fault.Pool_dispatch with
+  | None -> ()
+  | Some Fault.Latency -> Fault.latency_sleep ()
+  | Some ((Fault.Singular | Fault.Nan_poison | Fault.Enospc) as k) ->
+      Opm_error.raise_
+        (Opm_error.Fault_injected
+           {
+             site = Fault.site_to_string Fault.Pool_dispatch;
+             kind = Fault.kind_to_string k;
+           })
 
 type job = { run : int -> unit; n_chunks : int }
 
@@ -74,7 +94,10 @@ let run_chunks t =
       let saved = Domain.DLS.get inside_job in
       Domain.DLS.set inside_job true;
       Metrics.incr m_chunks;
-      (try Metrics.time h_chunk_seconds (fun () -> job.run chunk)
+      (try
+         Metrics.time h_chunk_seconds (fun () ->
+             fire_dispatch ();
+             job.run chunk)
        with e -> record_error t chunk e (Printexc.get_raw_backtrace ()));
       Domain.DLS.set inside_job saved;
       Mutex.lock t.mutex;
@@ -179,6 +202,7 @@ let run_job t ~n_chunks run =
   else if Array.length t.workers = 0 || Domain.DLS.get inside_job then begin
     Metrics.incr m_inline_jobs;
     for chunk = 0 to n_chunks - 1 do
+      fire_dispatch ();
       run chunk
     done
   end
@@ -189,6 +213,7 @@ let run_job t ~n_chunks run =
       Mutex.unlock t.mutex;
       Metrics.incr m_inline_jobs;
       for chunk = 0 to n_chunks - 1 do
+        fire_dispatch ();
         run chunk
       done
     end

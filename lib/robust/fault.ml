@@ -1,0 +1,202 @@
+(* Seeded fault-injection harness.
+
+   One global plan (armed programmatically or from OPM_FAULT_PLAN)
+   names a site, a fault kind and the 1-based occurrence at which it
+   fires. Instrumented sites in the solve path call [fire] and
+   interpret the returned kind mechanically (fail the factor, poison a
+   vector, raise a simulated ENOSPC, sleep). Counters are atomic
+   because the pool-dispatch site fires from worker domains. When no
+   plan is armed [fire] is a single atomic load. *)
+
+type site =
+  | Factor
+  | Column_solve
+  | Fft_block
+  | Window_handoff
+  | Checkpoint_write
+  | Pool_dispatch
+
+type kind = Singular | Nan_poison | Enospc | Latency
+
+type plan = { seed : int; site : site; kind : kind; nth : int }
+
+let nsites = 6
+
+let site_index = function
+  | Factor -> 0
+  | Column_solve -> 1
+  | Fft_block -> 2
+  | Window_handoff -> 3
+  | Checkpoint_write -> 4
+  | Pool_dispatch -> 5
+
+let all_sites =
+  [ Factor; Column_solve; Fft_block; Window_handoff; Checkpoint_write;
+    Pool_dispatch ]
+
+let all_kinds = [ Singular; Nan_poison; Enospc; Latency ]
+
+let site_to_string = function
+  | Factor -> "factor"
+  | Column_solve -> "column-solve"
+  | Fft_block -> "fft-block"
+  | Window_handoff -> "window-handoff"
+  | Checkpoint_write -> "checkpoint-write"
+  | Pool_dispatch -> "pool-dispatch"
+
+let site_of_string = function
+  | "factor" -> Some Factor
+  | "column-solve" -> Some Column_solve
+  | "fft-block" -> Some Fft_block
+  | "window-handoff" -> Some Window_handoff
+  | "checkpoint-write" -> Some Checkpoint_write
+  | "pool-dispatch" -> Some Pool_dispatch
+  | _ -> None
+
+let kind_to_string = function
+  | Singular -> "singular"
+  | Nan_poison -> "nan-poison"
+  | Enospc -> "enospc"
+  | Latency -> "latency"
+
+let kind_of_string = function
+  | "singular" -> Some Singular
+  | "nan-poison" -> Some Nan_poison
+  | "enospc" -> Some Enospc
+  | "latency" -> Some Latency
+  | _ -> None
+
+(* splitmix64 finaliser: the only randomness in the harness, so a plan
+   is replayable from its integer seed alone *)
+let mix64 z =
+  let open Int64 in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xbf58476d1ce4e5b9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94d049bb133111ebL in
+  logxor z (shift_right_logical z 31)
+
+let mix_int seed salt =
+  Int64.to_int
+    (Int64.logand
+       (mix64 (Int64.of_int ((seed * 0x9e3779b9) + salt)))
+       0x7fffffffL)
+
+let kind_of_seed seed =
+  List.nth all_kinds (mix_int seed 1 mod List.length all_kinds)
+
+let plan_of_string s =
+  match String.split_on_char ':' s with
+  | [ seed; site; nth ] -> (
+      match (int_of_string_opt seed, site_of_string site, int_of_string_opt nth)
+      with
+      | Some seed, Some site, Some nth when nth >= 1 ->
+          Ok { seed; site; kind = kind_of_seed seed; nth }
+      | _ ->
+          Error
+            (Printf.sprintf
+               "malformed fault plan %S (expected seed:site:nth with nth >= 1)"
+               s))
+  | [ seed; site; kind; nth ] -> (
+      match
+        ( int_of_string_opt seed,
+          site_of_string site,
+          kind_of_string kind,
+          int_of_string_opt nth )
+      with
+      | Some seed, Some site, Some kind, Some nth when nth >= 1 ->
+          Ok { seed; site; kind; nth }
+      | _ ->
+          Error
+            (Printf.sprintf
+               "malformed fault plan %S (expected seed:site:kind:nth with \
+                nth >= 1)"
+               s))
+  | _ ->
+      Error
+        (Printf.sprintf
+           "malformed fault plan %S (expected seed:site[:kind]:nth)" s)
+
+let plan_to_string p =
+  Printf.sprintf "%d:%s:%s:%d" p.seed (site_to_string p.site)
+    (kind_to_string p.kind) p.nth
+
+let armed_plan : plan option Atomic.t = Atomic.make None
+let occurrences = Array.init nsites (fun _ -> Atomic.make 0)
+let injected = Array.init nsites (fun _ -> Atomic.make 0)
+
+let reset_counters () =
+  Array.iter (fun a -> Atomic.set a 0) occurrences;
+  Array.iter (fun a -> Atomic.set a 0) injected
+
+let arm p =
+  reset_counters ();
+  Atomic.set armed_plan (Some p)
+
+let disarm () =
+  Atomic.set armed_plan None;
+  reset_counters ()
+
+let armed () = Atomic.get armed_plan
+
+let arm_from_env () =
+  match Sys.getenv_opt "OPM_FAULT_PLAN" with
+  | None | Some "" -> Ok false
+  | Some s -> (
+      match plan_of_string s with
+      | Ok p ->
+          arm p;
+          Ok true
+      | Error _ as e -> e)
+
+(* Arm from the environment at library initialisation so *any* binary
+   linking opm_robust — the examples, the tests, opm_sim — honours
+   OPM_FAULT_PLAN without per-program wiring (the example-level fault
+   matrix in CI depends on this). A malformed plan warns instead of
+   aborting: library init is no place to exit, and opm_sim
+   re-validates the variable with a proper usage error. *)
+let () =
+  match arm_from_env () with
+  | Ok _ -> ()
+  | Error msg -> Printf.eprintf "opm: OPM_FAULT_PLAN ignored: %s\n%!" msg
+
+let fire site =
+  match Atomic.get armed_plan with
+  | None -> None
+  | Some p when p.site <> site -> None
+  | Some p ->
+      let i = site_index site in
+      let k = 1 + Atomic.fetch_and_add occurrences.(i) 1 in
+      if k = p.nth then begin
+        Atomic.incr injected.(i);
+        Some p.kind
+      end
+      else None
+
+let latency_sleep () =
+  let seed = match Atomic.get armed_plan with Some p -> p.seed | None -> 0 in
+  (* deterministic 1–5 ms: long enough to perturb timing-sensitive
+     code, short enough for a 24-cell bench matrix *)
+  let ms = 1 + (mix_int seed 2 mod 5) in
+  Unix.sleepf (float_of_int ms /. 1000.0)
+
+let injected_total () =
+  Array.fold_left (fun acc a -> acc + Atomic.get a) 0 injected
+
+let stats_json () =
+  let open Opm_obs in
+  let per_site get =
+    Json.Obj
+      (List.map
+         (fun s ->
+           (site_to_string s, Json.Int (Atomic.get (get (site_index s)))))
+         all_sites)
+  in
+  Json.Obj
+    [
+      ( "armed",
+        match armed () with
+        | None -> Json.Null
+        | Some p -> Json.String (plan_to_string p) );
+      ("occurrences", per_site (Array.get occurrences));
+      ("injected", per_site (Array.get injected));
+      ("injected_total", Json.Int (injected_total ()));
+    ]

@@ -34,7 +34,13 @@ type t = {
   mutable max_residual : float;
   mutable worst_cond : float;
   mutable rev_events : event list;
+  mutable stored_events : int;
+  mutable total_events : int;
 }
+
+(* bounded-artifact discipline: a pathological 100K-column run keeps a
+   fixed-size event buffer plus counters, never an unbounded list *)
+let event_cap = 512
 
 let create () =
   {
@@ -44,6 +50,8 @@ let create () =
     max_residual = 0.0;
     worst_cond = 0.0;
     rev_events = [];
+    stored_events = 0;
+    total_events = 0;
   }
 
 let record_vec t v =
@@ -59,7 +67,12 @@ let record_residual t r =
 
 let record_cond t c = if c > t.worst_cond then t.worst_cond <- c
 
-let record_event t e = t.rev_events <- e :: t.rev_events
+let record_event t e =
+  t.total_events <- t.total_events + 1;
+  if t.stored_events < event_cap then begin
+    t.rev_events <- e :: t.rev_events;
+    t.stored_events <- t.stored_events + 1
+  end
 
 let columns t = t.columns
 let nans t = t.nans
@@ -67,7 +80,21 @@ let infs t = t.infs
 let max_residual t = t.max_residual
 let worst_cond t = t.worst_cond
 let events t = List.rev t.rev_events
-let fallback_count t = List.length t.rev_events
+let fallback_count t = t.total_events
+let dropped_events t = t.total_events - t.stored_events
+
+(* collapse runs of identical renderings into (line, count) pairs, so a
+   column-per-column fallback storm prints once with a multiplier *)
+let group_consecutive strings =
+  List.fold_left
+    (fun acc s ->
+      match acc with
+      | (s', k) :: rest when String.equal s s' -> (s', k + 1) :: rest
+      | _ -> (s, 1) :: acc)
+    [] strings
+  |> List.rev
+
+let counted (s, k) = if k = 1 then s else Printf.sprintf "%s ×%d" s k
 
 let default_cond_limit = 1e8
 
@@ -80,10 +107,13 @@ let warnings ?(cond_limit = default_cond_limit) t =
     add "worst condition estimate %.3g exceeds %.3g — expect %.0f-digit loss"
       t.worst_cond cond_limit
       (Float.min 16.0 (Float.max 0.0 (Float.log10 t.worst_cond)));
-  if t.rev_events <> [] then
+  if t.total_events > 0 then
     add "%d fallback event(s) taken (run was recoverable, not clean)"
-      (List.length t.rev_events);
-  List.rev !w
+      t.total_events;
+  if dropped_events t > 0 then
+    add "event buffer capped at %d: %d further event(s) counted but not stored"
+      event_cap (dropped_events t);
+  List.map counted (group_consecutive (List.rev !w))
 
 let event_to_json e =
   let open Opm_obs in
@@ -121,6 +151,8 @@ let to_json ?cond_limit t =
       ("infs", Json.Int t.infs);
       ("max_residual", Json.Float t.max_residual);
       ("worst_cond", Json.Float t.worst_cond);
+      ("total_events", Json.Int t.total_events);
+      ("dropped_events", Json.Int (dropped_events t));
       ("events", Json.List (List.map event_to_json (events t)));
       ( "warnings",
         Json.List (List.map (fun w -> Json.String w) (warnings ?cond_limit t))
@@ -135,8 +167,13 @@ let to_string ?cond_limit t =
   line "  non-finite entries:   %d NaN, %d Inf" t.nans t.infs;
   line "  max column residual:  %.6g" t.max_residual;
   line "  worst cond estimate:  %.6g" t.worst_cond;
-  line "  fallback events:      %d" (List.length t.rev_events);
-  List.iter (fun e -> line "    - %s" (event_to_string e)) (events t);
+  line "  fallback events:      %d" t.total_events;
+  List.iter
+    (fun g -> line "    - %s" (counted g))
+    (group_consecutive (List.map event_to_string (events t)));
+  if dropped_events t > 0 then
+    line "    … %d more event(s) beyond the %d-entry cap (counted, not stored)"
+      (dropped_events t) event_cap;
   (match warnings ?cond_limit t with
   | [] -> line "status: ok"
   | ws ->

@@ -56,9 +56,19 @@ val worst_cond : t -> float
 (** [0.] when no factor was estimated. *)
 
 val events : t -> event list
-(** In chronological order. *)
+(** In chronological order; at most {!event_cap} entries are stored
+    (bounded-artifact discipline — events past the cap are counted but
+    dropped, so a pathological 100K-column fallback storm cannot OOM
+    the collector). *)
 
 val fallback_count : t -> int
+(** Total events recorded, {e including} those dropped past the cap. *)
+
+val event_cap : int
+(** Fixed storage bound on {!events} (512). *)
+
+val dropped_events : t -> int
+(** Events recorded beyond the cap ([fallback_count - stored]). *)
 
 val default_cond_limit : float
 (** [1e8] — above this 1-norm condition estimate the engine attempts

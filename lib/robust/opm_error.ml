@@ -14,6 +14,11 @@ type t =
   | Ill_conditioned of { cond : float; limit : float; column : int option }
   | Parse_error of { line : int; message : string }
   | Resource_limit of { what : string; limit : int }
+  | Deadline_exceeded of { site : string; elapsed_s : float; deadline_s : float }
+  | Budget_exhausted of { what : string; used : int; limit : int; site : string }
+  | Io_error of { path : string; message : string }
+  | Checkpoint_error of { path : string; message : string }
+  | Fault_injected of { site : string; kind : string }
 
 exception Error of t
 
@@ -48,6 +53,20 @@ let to_string = function
       Printf.sprintf "parse error at line %d: %s" line message
   | Resource_limit { what; limit } ->
       Printf.sprintf "resource limit: %s exceeded its bound of %d" what limit
+  | Deadline_exceeded { site; elapsed_s; deadline_s } ->
+      Printf.sprintf
+        "deadline exceeded at %s: %.3f s elapsed against a %.3f s budget \
+         (partial results up to the last completed window are available)"
+        site elapsed_s deadline_s
+  | Budget_exhausted { what; used; limit; site } ->
+      Printf.sprintf "budget exhausted at %s: %s used %d of %d allowed" site
+        what used limit
+  | Io_error { path; message } ->
+      Printf.sprintf "i/o error on %S: %s" path message
+  | Checkpoint_error { path; message } ->
+      Printf.sprintf "checkpoint error on %S: %s" path message
+  | Fault_injected { site; kind } ->
+      Printf.sprintf "injected fault fired at site %s (kind %s)" site kind
 
 let () =
   Printexc.register_printer (function

@@ -38,6 +38,32 @@ type t =
   | Resource_limit of { what : string; limit : int }
       (** A bounded retry loop hit its cap, e.g. adaptive local grid
           refinement. *)
+  | Deadline_exceeded of {
+      site : string;  (** cooperative check-point that noticed, e.g.
+                          ["engine.column"] or ["window.boundary"] *)
+      elapsed_s : float;
+      deadline_s : float;
+    }
+      (** A {!Budget} wall-clock deadline passed. The windowed driver
+          re-raises this wrapped in [Window.Interrupted] carrying the
+          usable solution prefix and the last checkpoint path. *)
+  | Budget_exhausted of {
+      what : string;  (** ["factorisations"] or ["heap_bytes"] *)
+      used : int;
+      limit : int;
+      site : string;
+    }  (** A countable {!Budget} resource ran out. *)
+  | Io_error of { path : string; message : string }
+      (** A filesystem operation (checkpoint write, report export)
+          failed — includes simulated ENOSPC from fault injection. *)
+  | Checkpoint_error of { path : string; message : string }
+      (** A checkpoint file failed to load: missing, unparsable, wrong
+          schema/version, checksum mismatch, or fingerprint conflict
+          with the run being resumed. *)
+  | Fault_injected of { site : string; kind : string }
+      (** An armed {!Fault} plan fired a kind the site has no natural
+          mechanical simulation for; always a structured failure, never
+          a silent wrong answer. *)
 
 exception Error of t
 
