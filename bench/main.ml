@@ -5,6 +5,7 @@
      dune exec bench/main.exe                 # everything
      dune exec bench/main.exe -- table1       # paper Table I
      dune exec bench/main.exe -- table2 [--nx N --ny N --nz N --loads K]
+     dune exec bench/main.exe -- table2 --paper   # 75 K / 110 K instance
      dune exec bench/main.exe -- ablation-basis
      dune exec bench/main.exe -- ablation-adaptive
      dune exec bench/main.exe -- ablation-kron
@@ -31,6 +32,8 @@ module Metrics = Opm_obs.Metrics
 module Fault = Opm_robust.Fault
 module Budget = Opm_robust.Budget
 module Opm_error = Opm_robust.Opm_error
+module Csr = Opm_sparse.Csr
+module Slu = Opm_sparse.Slu
 
 (* ------------------------------------------------------------------ *)
 (* machine-readable output (--json): the table commands additionally
@@ -49,17 +52,18 @@ let bench_schema = "opm-bench-v1"
 
 let json_rows : Json.t list ref = ref []
 
-let add_row ~method_ ~n ~m ~wall_s ~error_db =
+let add_row ?(extra = []) ~method_ ~n ~m ~wall_s ~error_db () =
   if !json_mode then
     json_rows :=
       Json.Obj
-        [
-          ("method", Json.String method_);
-          ("n", Json.Int n);
-          ("m", Json.Int m);
-          ("wall_s", Json.Float wall_s);
-          ("error_db", Json.Float error_db);
-        ]
+        ([
+           ("method", Json.String method_);
+           ("n", Json.Int n);
+           ("m", Json.Int m);
+           ("wall_s", Json.Float wall_s);
+           ("error_db", Json.Float error_db);
+         ]
+        @ extra)
       :: !json_rows
 
 let flush_json ~table ~default_file =
@@ -160,18 +164,47 @@ let table1 () =
     (vs_fine opm.Sim_result.outputs)
     (vs_fine fft1) (vs_fine fft2);
   let n = Descriptor.order sys in
-  add_row ~method_:"fft-1" ~n ~m:8 ~wall_s:t_fft1 ~error_db:(vs_fine fft1);
-  add_row ~method_:"fft-2" ~n ~m:100 ~wall_s:t_fft2 ~error_db:(vs_fine fft2);
+  add_row ~method_:"fft-1" ~n ~m:8 ~wall_s:t_fft1 ~error_db:(vs_fine fft1) ();
+  add_row ~method_:"fft-2" ~n ~m:100 ~wall_s:t_fft2 ~error_db:(vs_fine fft2) ();
   add_row ~method_:"opm" ~n ~m:8 ~wall_s:t_opm
-    ~error_db:(vs_fine opm.Sim_result.outputs);
+    ~error_db:(vs_fine opm.Sim_result.outputs) ();
   flush_json ~table:"table1" ~default_file:"BENCH_table1.json"
 
 (* ------------------------------------------------------------------ *)
 (* Table II — 3-D power grid: OPM (2nd-order NA) vs b-Euler/Gear/trap  *)
 
-type grid_cli = { nx : int; ny : int; nz : int; loads : int }
+type grid_cli = { nx : int; ny : int; nz : int; loads : int; paper : bool }
 
-let default_cli = { nx = 12; ny = 12; nz = 4; loads = 8 }
+let default_cli = { nx = 12; ny = 12; nz = 4; loads = 8; paper = false }
+
+let paper_cli =
+  let s = Power_grid.paper_spec in
+  {
+    nx = s.Power_grid.nx;
+    ny = s.Power_grid.ny;
+    nz = s.Power_grid.nz;
+    loads = s.Power_grid.load_count;
+    paper = true;
+  }
+
+(* symbolic-reuse accounting: [pencils] = fresh analyses + numeric-only
+   refactorisations performed inside [f]; the table2 gate in
+   validate.ml requires symbolic_reuse >= pencils - 1 on every row (one
+   sparsity structure pays its symbolic analysis exactly once) *)
+let c_slu_analyze = Metrics.counter "slu.analyze"
+
+let c_slu_reuse = Metrics.counter "slu.symbolic_reuse"
+
+let with_slu_counts f =
+  let a0 = Metrics.counter_value c_slu_analyze
+  and r0 = Metrics.counter_value c_slu_reuse in
+  let r = f () in
+  let reuse = Metrics.counter_value c_slu_reuse - r0 in
+  let pencils = Metrics.counter_value c_slu_analyze - a0 + reuse in
+  (r, pencils, reuse)
+
+let slu_extra ~pencils ~reuse =
+  [ ("pencils", Json.Int pencils); ("symbolic_reuse", Json.Int reuse) ]
 
 let table2 cli =
   let spec =
@@ -202,10 +235,17 @@ let table2 cli =
   let mna_sys, mna_srcs = Mna.stamp_linear ~outputs:probe net in
   let t_end = 1e-9 in
   let h0 = 10e-12 in
-  (* reference: trapezoidal on the MNA DAE at h/20 *)
+  (* one symbolic analysis serves every classical-method iteration
+     matrix of the whole table: the stepper pencils all carry the E/A
+     union sparsity pattern, so everything after the reference run is a
+     numeric-only refactorisation *)
+  let stepper_sym = ref None in
+  (* reference: trapezoidal on the MNA DAE at h/20 (h/5 at the paper
+     size, where a 2000-step reference would dominate the table) *)
+  let ref_div = if cli.paper then 5.0 else 20.0 in
   let reference =
-    Stepper.solve ~scheme:Stepper.Trapezoidal ~h:(h0 /. 20.0) ~t_end mna_sys
-      mna_srcs
+    Stepper.solve ~symbolic:stepper_sym ~scheme:Stepper.Trapezoidal
+      ~h:(h0 /. ref_div) ~t_end mna_sys mna_srcs
   in
   let err w = Error.average_relative_error_db ~reference w in
   let n_mna = Descriptor.order mna_sys in
@@ -214,50 +254,118 @@ let table2 cli =
     "Avg rel err (dB)" "paper: runtime / err";
   rule ();
   let be_row h paper =
-    let t, w =
-      timed ~runs:1 (fun () ->
-          Stepper.solve ~scheme:Stepper.Backward_euler ~h ~t_end mna_sys
-            mna_srcs)
+    let (t, w), pencils, reuse =
+      with_slu_counts (fun () ->
+          timed ~runs:1 (fun () ->
+              Stepper.solve ~symbolic:stepper_sym
+                ~scheme:Stepper.Backward_euler ~h ~t_end mna_sys mna_srcs))
     in
     Printf.printf "%-12s %-8s %12s %18.1f   %s\n" "b-Euler"
       (Printf.sprintf "%g ps" (h *. 1e12))
       (pp_time t) (err w) paper;
     add_row
+      ~extra:(slu_extra ~pencils ~reuse)
       ~method_:(Printf.sprintf "b-euler@%gps" (h *. 1e12))
-      ~n:n_mna ~m:(steps_of h) ~wall_s:t ~error_db:(err w);
+      ~n:n_mna ~m:(steps_of h) ~wall_s:t ~error_db:(err w) ();
     (t, err w)
   in
   let t_be10, e_be10 = be_row 10e-12 "334.7 s / -91 dB" in
   let _t_be5, e_be5 = be_row 5e-12 "691.7 s / -92 dB" in
   let t_be1, e_be1 = be_row 1e-12 "3198 s / -127 dB" in
-  let t_gear, w_gear =
-    timed ~runs:1 (fun () ->
-        Stepper.solve ~scheme:Stepper.Gear2 ~h:h0 ~t_end mna_sys mna_srcs)
+  let (t_gear, w_gear), pencils_gear, reuse_gear =
+    with_slu_counts (fun () ->
+        timed ~runs:1 (fun () ->
+            Stepper.solve ~symbolic:stepper_sym ~scheme:Stepper.Gear2 ~h:h0
+              ~t_end mna_sys mna_srcs))
   in
   let e_gear = err w_gear in
   Printf.printf "%-12s %-8s %12s %18.1f   %s\n" "Gear" "10 ps" (pp_time t_gear)
     e_gear "359.1 s / -134 dB";
-  add_row ~method_:"gear" ~n:n_mna ~m:(steps_of h0) ~wall_s:t_gear
-    ~error_db:e_gear;
-  let t_trap, w_trap =
-    timed ~runs:1 (fun () ->
-        Stepper.solve ~scheme:Stepper.Trapezoidal ~h:h0 ~t_end mna_sys mna_srcs)
+  add_row
+    ~extra:(slu_extra ~pencils:pencils_gear ~reuse:reuse_gear)
+    ~method_:"gear" ~n:n_mna ~m:(steps_of h0) ~wall_s:t_gear ~error_db:e_gear ();
+  let (t_trap, w_trap), pencils_trap, reuse_trap =
+    with_slu_counts (fun () ->
+        timed ~runs:1 (fun () ->
+            Stepper.solve ~symbolic:stepper_sym ~scheme:Stepper.Trapezoidal
+              ~h:h0 ~t_end mna_sys mna_srcs))
   in
   let e_trap = err w_trap in
   Printf.printf "%-12s %-8s %12s %18.1f   %s\n" "Trapezoidal" "10 ps"
     (pp_time t_trap) e_trap "347.2 s / -137 dB";
-  add_row ~method_:"trap" ~n:n_mna ~m:(steps_of h0) ~wall_s:t_trap
-    ~error_db:e_trap;
+  add_row
+    ~extra:(slu_extra ~pencils:pencils_trap ~reuse:reuse_trap)
+    ~method_:"trap" ~n:n_mna ~m:(steps_of h0) ~wall_s:t_trap ~error_db:e_trap ();
   let m = int_of_float (Float.round (t_end /. h0)) in
-  let t_opm, r_opm =
-    timed ~runs:1 (fun () ->
-        Opm.simulate_multi_term ~grid:(Grid.uniform ~t_end ~m) na_sys na_srcs)
+  let (t_opm, r_opm), pencils_opm, reuse_opm =
+    with_slu_counts (fun () ->
+        timed ~runs:1 (fun () ->
+            Opm.simulate_multi_term ~grid:(Grid.uniform ~t_end ~m) na_sys
+              na_srcs))
   in
   let e_opm = err r_opm.Sim_result.outputs in
   Printf.printf "%-12s %-8s %12s %18.1f   %s\n" "OPM (NA)" "10 ps"
     (pp_time t_opm) e_opm "314.6 s / --";
-  add_row ~method_:"opm-na" ~n:(Multi_term.order na_sys) ~m ~wall_s:t_opm
-    ~error_db:e_opm;
+  add_row
+    ~extra:(slu_extra ~pencils:pencils_opm ~reuse:reuse_opm)
+    ~method_:"opm-na" ~n:(Multi_term.order na_sys) ~m ~wall_s:t_opm
+    ~error_db:e_opm ();
+  (* adaptive grid with pairwise-distinct steps: ⌈m⌉ distinct pencils,
+     all sharing one sparsity structure — the row that exercises the
+     paper-scale factor split (symbolic_reuse = pencils − 1) *)
+  let m_jitter = if !smoke_mode then 24 else 48 in
+  let steps_j =
+    let base = t_end /. float_of_int m_jitter in
+    Array.init m_jitter (fun k ->
+        base *. (1.0 +. (1e-4 *. float_of_int (k + 1))))
+  in
+  let (t_j, r_j), pencils_j, reuse_j =
+    with_slu_counts (fun () ->
+        timed ~runs:1 (fun () ->
+            Opm.simulate_multi_term ~grid:(Grid.adaptive steps_j) na_sys
+              na_srcs))
+  in
+  let e_j = err r_j.Sim_result.outputs in
+  Printf.printf "%-12s %-8s %12s %18.1f   %s\n" "OPM (adpt)"
+    (Printf.sprintf "%d st" m_jitter)
+    (pp_time t_j) e_j
+    (Printf.sprintf "(%d pencils, %d reused)" pencils_j reuse_j);
+  add_row
+    ~extra:(slu_extra ~pencils:pencils_j ~reuse:reuse_j)
+    ~method_:"opm-na-adaptive" ~n:(Multi_term.order na_sys) ~m:m_jitter
+    ~wall_s:t_j ~error_db:e_j ();
+  (* domain-sharded batched back-solves on the backward-Euler factors;
+     the accuracy cell is the agreement with the sequential map, clamped
+     at −300 dB (= bit-identical) *)
+  let nb = 32 in
+  let (t_batch, db_batch), pencils_b, reuse_b =
+    with_slu_counts (fun () ->
+        let lhs =
+          Csr.add ~alpha:(1.0 /. h0) ~beta:(-1.0) mna_sys.Descriptor.e
+            mna_sys.Descriptor.a
+        in
+        let f = Slu.factor lhs in
+        let bs =
+          Array.init nb (fun j ->
+              Array.init n_mna (fun i ->
+                  if (i + j) mod 101 = 0 then 1e-3 else 0.0))
+        in
+        let seq = Array.map (Slu.solve f) bs in
+        let t, par = wall (fun () -> Slu.solve_many f bs) in
+        let flat a = Array.concat (Array.to_list a) in
+        let db =
+          Float.max (-300.0)
+            (Error.relative_error_db ~reference:(flat seq) (flat par))
+        in
+        (t, db))
+  in
+  Printf.printf "%-12s %-8s %12s %18.1f   %s\n" "batch-solve"
+    (Printf.sprintf "%d rhs" nb)
+    (pp_time t_batch) db_batch "(vs sequential map; -300 = bit-equal)";
+  add_row
+    ~extra:(slu_extra ~pencils:pencils_b ~reuse:reuse_b)
+    ~method_:"backsolve-batch" ~n:n_mna ~m:nb ~wall_s:t_batch
+    ~error_db:db_batch ();
   flush_json ~table:"table2" ~default_file:"BENCH_table2.json";
   rule ();
   let shape1 = e_be10 > e_trap && e_be10 > e_gear in
@@ -461,12 +569,12 @@ let convergence () =
             Opm.simulate_linear ~grid:(Grid.uniform ~t_end ~m) sys srcs)
       in
       let e_opm = err r_opm.Sim_result.outputs in
-      add_row ~method_:"opm" ~n ~m ~wall_s:t_opm ~error_db:e_opm;
+      add_row ~method_:"opm" ~n ~m ~wall_s:t_opm ~error_db:e_opm ();
       let e_of name scheme =
         let t, w =
           timed ~runs:1 (fun () -> Stepper.solve ~scheme ~h ~t_end sys srcs)
         in
-        add_row ~method_:name ~n ~m ~wall_s:t ~error_db:(err w);
+        add_row ~method_:name ~n ~m ~wall_s:t ~error_db:(err w) ();
         err w
       in
       Printf.printf "%-8d %14.1f %14.1f %14.1f %14.1f\n" m e_opm
@@ -1049,8 +1157,8 @@ let rhs_conv () =
         Mat.max_abs_diff fft.Sim_result.x naive.Sim_result.x /. scale
       in
       let err_db = 20.0 *. log10 (Float.max rel 1e-16) in
-      add_row ~method_:"rhs-naive" ~n ~m ~wall_s:t_naive ~error_db:(-320.0);
-      add_row ~method_:"rhs-fft" ~n ~m ~wall_s:t_fft ~error_db:err_db;
+      add_row ~method_:"rhs-naive" ~n ~m ~wall_s:t_naive ~error_db:(-320.0) ();
+      add_row ~method_:"rhs-fft" ~n ~m ~wall_s:t_fft ~error_db:err_db ();
       Printf.printf "%-12s %4d %6d %12s %12s %8.2fx %12.2e\n" "rhs" n m
         (pp_time t_naive) (pp_time t_fft)
         (t_naive /. t_fft)
@@ -1279,6 +1387,9 @@ let parse_grid_cli args =
     | "--loads" :: v :: rest ->
         cli := { !cli with loads = int_of_string v };
         go rest
+    | "--paper" :: rest ->
+        cli := paper_cli;
+        go rest
     | [] -> ()
     | unknown :: _ -> failwith ("table2: unknown option " ^ unknown)
   in
@@ -1323,7 +1434,12 @@ let () =
   | _ :: "table2" :: rest ->
       let cli = parse_grid_cli rest in
       let cli =
-        if !smoke_mode then { nx = 4; ny = 4; nz = 2; loads = 2 } else cli
+        (* smoke: n ≈ 10 K MNA unknowns (58·58·2 + 58·58 = 10 092) —
+           big enough to exercise the AMD + symbolic-reuse path, small
+           enough for CI *)
+        if !smoke_mode then
+          { nx = 58; ny = 58; nz = 2; loads = 8; paper = false }
+        else cli
       in
       table2 cli
   | _ :: "ablation-basis" :: _ -> ablation_basis ()

@@ -99,6 +99,25 @@ let validate file =
           fail "row %d: rhs-fft error_db %.1f exceeds the -200 dB contract" i
             error_db
       end;
+      (* symbolic-reuse contract: every table2 row records how many
+         pencils it factored and how many of those were numeric-only
+         refactorisations; one sparsity structure must pay its symbolic
+         analysis exactly once, i.e. reuse >= pencils - 1 *)
+      if table = "table2" then begin
+        let count name =
+          match Json.to_int_opt (get name) with
+          | Some v when v >= 0 -> v
+          | Some v -> fail "row %d: %s = %d is negative" i name v
+          | None -> fail "row %d: %s is not an integer" i name
+        in
+        let pencils = count "pencils" in
+        let reuse = count "symbolic_reuse" in
+        if reuse < pencils - 1 then
+          fail
+            "row %d (%s): symbolic_reuse %d < pencils %d - 1 (a sparsity \
+             structure must pay its symbolic analysis exactly once)"
+            i method_ reuse pencils
+      end;
       if table = "resilience" then
         match get "outcome" with
         | Json.String

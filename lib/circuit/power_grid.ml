@@ -25,6 +25,11 @@ let default_spec =
         { low = 0.0; high = 1e-3; delay = 20e-12; width = 50e-12; period = 100e-12 };
   }
 
+let paper_spec =
+  (* 194 × 194 × 2 → 75 272 nodes (NA, "75 K") and 75 272 + 37 636 =
+     112 908 MNA unknowns ("110 K"): the Table II instance sizes *)
+  { default_spec with nx = 194; ny = 194; nz = 2; load_count = 64 }
+
 let node_name ~x ~y ~z = Printf.sprintf "n%d_%d_%d" x y z
 
 let validate spec =

@@ -28,6 +28,11 @@ type spec = {
 val default_spec : spec
 (** [12 × 12 × 4] grid (576 nodes), 8 loads. *)
 
+val paper_spec : spec
+(** The Table II instance: [194 × 194 × 2] grid — 75 272 nodes
+    (second-order NA, the paper's "75 K") and 112 908 MNA unknowns
+    ("110 K") — with 64 switching loads. *)
+
 val node_name : x:int -> y:int -> z:int -> string
 
 val generate : spec -> Netlist.t

@@ -109,6 +109,11 @@ type t = {
   plan : plan;
   fc_d : (float list, Engine.dense_block) Engine.Factor_cache.t;
   fc_s : (float list, Engine.sparse_block) Engine.Factor_cache.t;
+  slu_sym : Slu.symbolic option ref;
+      (* one symbolic analysis per model: every sparse pencil this model
+         ever factors (prefactor at compile, cache misses at query)
+         shares one sparsity structure, so later factorisations replay
+         the recorded elimination numerically *)
   series_cache : (float * int, float array) Hashtbl.t;
   a_dense : Mat.t Lazy.t;
   u_deriv : Mat.t Lazy.t;
@@ -138,6 +143,7 @@ let compile ?(backend = `Auto) ?health ?window ?memory_len ~grid
   let h = Grid.t_end grid /. float_of_int m in
   let fc_d = Engine.Factor_cache.create () in
   let fc_s = Engine.Factor_cache.create () in
+  let slu_sym = ref None in
   let series_cache : (float * int, float array) Hashtbl.t =
     Hashtbl.create 8
   in
@@ -165,8 +171,8 @@ let compile ?(backend = `Auto) ?health ?window ?memory_len ~grid
           | [ { Multi_term.coeff = e; alpha = 1.0 } ], 0 -> (
               match backend with
               | `Sparse ->
-                  Engine.prefactor_linear_sparse ?health fc_s ~h ~e
-                    ~a:sys.Multi_term.a
+                  Engine.prefactor_linear_sparse ?health ~slu_symbolic:slu_sym
+                    fc_s ~h ~e ~a:sys.Multi_term.a
               | `Dense ->
                   Engine.prefactor_linear_dense fc_d ~h ~e:(Csr.to_dense e)
                     ~a:(Lazy.force a_dense))
@@ -190,7 +196,8 @@ let compile ?(backend = `Auto) ?health ?window ?memory_len ~grid
                 terms;
               match backend with
               | `Sparse ->
-                  Engine.prefactor_sparse ?health fc_s ~key_salt ~diag
+                  Engine.prefactor_sparse ?health ~slu_symbolic:slu_sym fc_s
+                    ~key_salt ~diag
                     ~es:(List.map (fun { Multi_term.coeff; _ } -> coeff) terms)
                     ~a:sys.Multi_term.a
               | `Dense ->
@@ -207,8 +214,8 @@ let compile ?(backend = `Auto) ?health ?window ?memory_len ~grid
         if uniform && Array.length steps > 0 then
           (match backend with
           | `Sparse ->
-              Engine.prefactor_linear_sparse ?health fc_s ~h:steps.(0) ~e
-                ~a:sys.Multi_term.a
+              Engine.prefactor_linear_sparse ?health ~slu_symbolic:slu_sym
+                fc_s ~h:steps.(0) ~e ~a:sys.Multi_term.a
           | `Dense ->
               Engine.prefactor_linear_dense fc_d ~h:steps.(0)
                 ~e:(Lazy.force e_d) ~a:(Lazy.force a_dense));
@@ -234,8 +241,8 @@ let compile ?(backend = `Auto) ?health ?window ?memory_len ~grid
           (let diag = List.map (fun (_, d) -> Mat.get d 0 0) dmats in
            match backend with
            | `Sparse ->
-               Engine.prefactor_sparse ?health fc_s ~key_salt ~diag
-                 ~es:(List.map fst dmats) ~a:sys.Multi_term.a
+               Engine.prefactor_sparse ?health ~slu_symbolic:slu_sym fc_s
+                 ~key_salt ~diag ~es:(List.map fst dmats) ~a:sys.Multi_term.a
            | `Dense ->
                Engine.prefactor_dense fc_d ~key_salt ~diag
                  ~es:(List.map fst (Lazy.force terms_d))
@@ -259,6 +266,7 @@ let compile ?(backend = `Auto) ?health ?window ?memory_len ~grid
     plan;
     fc_d;
     fc_s;
+    slu_sym;
     series_cache;
     a_dense;
     u_deriv;
@@ -301,8 +309,8 @@ let solve_bu ?health ?budget ?checkpoint ?checkpoint_every ?resume_from t bu =
         match t.backend with
         | `Sparse ->
             Engine.solve_linear_sparse ?health ~fcache:t.fc_s
-              ~pin_factors:t.uniform ?budget ~steps ~e:e_s
-              ~a:t.sys.Multi_term.a ~bu ()
+              ~pin_factors:t.uniform ?budget ~slu_symbolic:t.slu_sym ~steps
+              ~e:e_s ~a:t.sys.Multi_term.a ~bu ()
         | `Dense ->
             Engine.solve_linear_dense ?health ~fcache:t.fc_d
               ~pin_factors:t.uniform ?budget ~steps ~e:(Lazy.force e_d)
@@ -312,7 +320,8 @@ let solve_bu ?health ?budget ?checkpoint ?checkpoint_every ?resume_from t bu =
         | `Sparse ->
             Engine.solve_sparse ?health ~fcache:t.fc_s ~key_salt
               ~pin_factors:t.uniform ?toeplitz ?conv_reuse:conv ?budget
-              ~terms:terms_s ~a:t.sys.Multi_term.a ~bu ()
+              ~slu_symbolic:t.slu_sym ~terms:terms_s ~a:t.sys.Multi_term.a
+              ~bu ()
         | `Dense ->
             Engine.solve_dense ?health ~fcache:t.fc_d ~key_salt
               ~pin_factors:t.uniform ?toeplitz ?conv_reuse:conv ?budget

@@ -476,7 +476,7 @@ let strict_factor ?health ~column smat =
   | f -> Sfac f
   | exception Slu.Singular _ -> dense_fallback_factor ?health ~column smat
 
-let sparse_block ?health ~column smat =
+let sparse_block ?health ?sym ~column smat =
   (* Factor site, sparse backend: Singular simulates a failed default
      factorisation, driving the strict-pivoting rung — a recovery, not
      an error; Nan_poison poisons the pencil, which rides the cascade
@@ -491,10 +491,21 @@ let sparse_block ?health ~column smat =
     | Some Fault.Nan_poison -> (Csr.scale Float.nan smat, false)
     | Some Fault.Enospc -> fault_injected Fault.Factor
   in
+  (* [sym] carries the symbolic analysis of a previously factored pencil
+     with the same sparsity structure: the ⌈m⌉ distinct pencils of one
+     OPM solve pay ordering/reach/fill-pattern discovery exactly once,
+     with {!Slu.factor_hinted} falling back to a fresh analysis on any
+     mismatch or pivot degradation.  The strict rung below stays
+     hint-free: strict pivoting re-derives its own pivot sequence. *)
+  let default_factor () =
+    match sym with
+    | Some hint -> Slu.factor_hinted ~hint smat
+    | None -> Slu.factor smat
+  in
   if forced_strict then
     { smat; strict_tried = true; sfac = strict_factor ?health ~column smat }
   else
-    match Slu.factor smat with
+    match default_factor () with
     | f -> { smat; strict_tried = false; sfac = Sfac f }
     | exception Slu.Singular _ ->
         { smat; strict_tried = true; sfac = strict_factor ?health ~column smat }
@@ -586,7 +597,7 @@ let solve_dense ?health ?(cond_limit = Health.default_cond_limit) ?fcache
 
 let solve_sparse ?health ?(cond_limit = Health.default_cond_limit) ?fcache
     ?(key_salt = []) ?(pin_factors = false) ?toeplitz ?history_len ?conv_reuse
-    ?budget ~terms ~a ~bu () =
+    ?budget ?slu_symbolic ~terms ~a ~bu () =
   Trace.with_span "engine.solve_sparse" @@ fun () ->
   let n, m = Mat.dims bu in
   check_terms_dims ~n ~m
@@ -600,10 +611,17 @@ let solve_sparse ?health ?(cond_limit = Health.default_cond_limit) ?fcache
   in
   let cols = Array.make m [||] in
   let es = List.map fst terms in
+  (* all pencils Σ_k d_kii·E_k − A of one call share one union sparsity
+     pattern, so a per-call hint makes every build after the first a
+     numeric-only refactorisation *)
+  let sym =
+    match slu_symbolic with Some r -> r | None -> ref None
+  in
   let build ~column key =
     let pencil = sparse_pencil ~es ~a key in
     budget_factor ~bytes:(Csr.nnz pencil * 16) budget;
-    Trace.with_span "factor" (fun () -> sparse_block ?health ~column pencil)
+    Trace.with_span "factor" (fun () ->
+        sparse_block ?health ~sym ~column pencil)
   in
   let lookup = block_lookup ~pin:pin_factors ~fcache ~key_salt ~build () in
   Metrics.incr ~by:m m_columns;
@@ -695,15 +713,19 @@ let solve_linear_dense ?health ?(cond_limit = Health.default_cond_limit)
   solve_linear ?budget ~steps ~apply_e:(Mat.mul_vec e) ~solve_col ~bu ()
 
 let solve_linear_sparse ?health ?(cond_limit = Health.default_cond_limit)
-    ?fcache ?(pin_factors = false) ?budget ~steps ~e ~a ~bu () =
+    ?fcache ?(pin_factors = false) ?budget ?slu_symbolic ~steps ~e ~a ~bu () =
   Trace.with_span "engine.solve_linear_sparse" @@ fun () ->
   let cache =
     match fcache with Some c -> c | None -> Factor_cache.create ()
   in
+  let sym =
+    match slu_symbolic with Some r -> r | None -> ref None
+  in
   let factor ~column h =
     let pencil = linear_pencil_sparse ~h ~e ~a in
     budget_factor ~bytes:(Csr.nnz pencil * 16) budget;
-    Trace.with_span "factor" (fun () -> sparse_block ?health ~column pencil)
+    Trace.with_span "factor" (fun () ->
+        sparse_block ?health ~sym ~column pencil)
   in
   let lookup = linear_lookup ~pin:pin_factors ~cache ~factor in
   let solve_col h ~column rhs =
@@ -767,7 +789,7 @@ let solve_integral_dense ?health ?(cond_limit = Health.default_cond_limit)
 
 let solve_integral_sparse ?health ?(cond_limit = Health.default_cond_limit)
     ?fcache ?(key_salt = []) ?(pin_factors = false) ?toeplitz ?history_len
-    ?budget ~h_mat ~one ~e ~a ~bu_int ~x0 () =
+    ?budget ?slu_symbolic ~h_mat ~one ~e ~a ~bu_int ~x0 () =
   Trace.with_span "engine.solve_integral_sparse" @@ fun () ->
   let n, m = Mat.dims bu_int in
   check_integral_h ~m h_mat;
@@ -776,11 +798,15 @@ let solve_integral_sparse ?health ?(cond_limit = Health.default_cond_limit)
   let terms = [ ((), h_mat) ] in
   let apply_e _ v = Csr.mul_vec a v in
   let conv = make_conv ?history_len ~toeplitz ~nterms:1 ~n ~m () in
+  let sym =
+    match slu_symbolic with Some r -> r | None -> ref None
+  in
   let build ~column key =
     let hii = List.hd key in
     let pencil = Csr.add ~alpha:1.0 ~beta:(-.hii) e a in
     budget_factor ~bytes:(Csr.nnz pencil * 16) budget;
-    Trace.with_span "factor" (fun () -> sparse_block ?health ~column pencil)
+    Trace.with_span "factor" (fun () ->
+        sparse_block ?health ~sym ~column pencil)
   in
   let lookup = block_lookup ~pin:pin_factors ~fcache ~key_salt ~build () in
   Metrics.incr ~by:m m_columns;
@@ -811,11 +837,12 @@ let prefactor_dense fc ~key_salt ~diag ~es ~a =
              dense_block ~column:0 (dense_pencil ~es ~a diag)))
       : dense_block)
 
-let prefactor_sparse ?health fc ~key_salt ~diag ~es ~a =
+let prefactor_sparse ?health ?slu_symbolic fc ~key_salt ~diag ~es ~a =
   ignore
     (Factor_cache.find_or_add ~pin:true fc (key_salt @ diag) (fun _ ->
          Trace.with_span "factor" (fun () ->
-             sparse_block ?health ~column:0 (sparse_pencil ~es ~a diag)))
+             sparse_block ?health ?sym:slu_symbolic ~column:0
+               (sparse_pencil ~es ~a diag)))
       : sparse_block)
 
 let prefactor_linear_dense fc ~h ~e ~a =
@@ -825,11 +852,12 @@ let prefactor_linear_dense fc ~h ~e ~a =
              dense_block ~column:0 (linear_pencil_dense ~h ~e ~a)))
       : dense_block)
 
-let prefactor_linear_sparse ?health fc ~h ~e ~a =
+let prefactor_linear_sparse ?health ?slu_symbolic fc ~h ~e ~a =
   ignore
     (Factor_cache.find_or_add ~pin:true fc (linear_cache_key h) (fun _ ->
          Trace.with_span "factor" (fun () ->
-             sparse_block ?health ~column:0 (linear_pencil_sparse ~h ~e ~a)))
+             sparse_block ?health ?sym:slu_symbolic ~column:0
+               (linear_pencil_sparse ~h ~e ~a)))
       : sparse_block)
 
 let prefactor_integral_dense fc ~key_salt ~hii ~e ~a =
@@ -839,11 +867,11 @@ let prefactor_integral_dense fc ~key_salt ~hii ~e ~a =
              dense_block ~column:0 (Mat.sub e (Mat.scale hii a))))
       : dense_block)
 
-let prefactor_integral_sparse ?health fc ~key_salt ~hii ~e ~a =
+let prefactor_integral_sparse ?health ?slu_symbolic fc ~key_salt ~hii ~e ~a =
   ignore
     (Factor_cache.find_or_add ~pin:true fc (key_salt @ [ hii ]) (fun _ ->
          Trace.with_span "factor" (fun () ->
-             sparse_block ?health ~column:0
+             sparse_block ?health ?sym:slu_symbolic ~column:0
                (Csr.add ~alpha:1.0 ~beta:(-.hii) e a)))
       : sparse_block)
 

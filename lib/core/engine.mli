@@ -196,13 +196,23 @@ val solve_sparse :
   ?history_len:int ->
   ?conv_reuse:Fft.Blocked_conv.t ->
   ?budget:Budget.t ->
+  ?slu_symbolic:Slu.symbolic option ref ->
   terms:(Csr.t * Mat.t) list ->
   a:Csr.t ->
   bu:Mat.t ->
   unit ->
   Mat.t
 (** Same algorithm with sparse [E_k], [A] and the sparse LU backend
-    (plus the strict-pivoting and sparse→dense escalation rungs). *)
+    (plus the strict-pivoting and sparse→dense escalation rungs).
+
+    The [⌈m⌉] distinct pencils of one call share one sparsity pattern,
+    so the symbolic analysis (ordering, elimination reaches, fill
+    pattern) is computed once and replayed numerically for the rest
+    ({!Slu.factor_hinted}); [?slu_symbolic] substitutes a caller-owned
+    hint ref so the reuse extends across calls sharing [?fcache] — e.g.
+    a windowed driver or a compiled model re-solving the same
+    structure. The strict-pivoting escalation rung never uses the
+    hint. *)
 
 val solve_dense_kron : terms:(Mat.t * Mat.t) list -> a:Mat.t -> bu:Mat.t -> Mat.t
 (** Reference implementation that forms the full
@@ -241,13 +251,16 @@ val solve_linear_sparse :
   ?fcache:(float list, sparse_block) Factor_cache.t ->
   ?pin_factors:bool ->
   ?budget:Budget.t ->
+  ?slu_symbolic:Slu.symbolic option ref ->
   steps:float array ->
   e:Csr.t ->
   a:Csr.t ->
   bu:Mat.t ->
   unit ->
   Mat.t
-(** Sparse-backend version of {!solve_linear_dense}. *)
+(** Sparse-backend version of {!solve_linear_dense}. All step pencils
+    [2/h·E − A] share one pattern; [?slu_symbolic] as in
+    {!solve_sparse}. *)
 
 (** {1 Integral-form OPM}
 
@@ -293,11 +306,12 @@ val solve_integral_sparse :
   ?toeplitz:float array list ->
   ?history_len:int ->
   ?budget:Budget.t ->
+  ?slu_symbolic:Slu.symbolic option ref ->
   h_mat:Mat.t -> one:Vec.t -> e:Csr.t -> a:Csr.t -> bu_int:Mat.t ->
   x0:Vec.t -> unit -> Mat.t
 (** Sparse-backend version of {!solve_integral_dense} (diagonal blocks
     [(E − H_{ii}·A)] in CSR, with the strict-pivoting and sparse→dense
-    escalation rungs). *)
+    escalation rungs); [?slu_symbolic] as in {!solve_sparse}. *)
 
 (** {1 Compile-ahead factorisation}
 
@@ -316,6 +330,7 @@ val prefactor_dense :
 
 val prefactor_sparse :
   ?health:Health.t ->
+  ?slu_symbolic:Slu.symbolic option ref ->
   (float list, sparse_block) Factor_cache.t ->
   key_salt:float list -> diag:float list -> es:Csr.t list -> a:Csr.t -> unit
 
@@ -325,6 +340,7 @@ val prefactor_linear_dense :
 
 val prefactor_linear_sparse :
   ?health:Health.t ->
+  ?slu_symbolic:Slu.symbolic option ref ->
   (float list, sparse_block) Factor_cache.t ->
   h:float -> e:Csr.t -> a:Csr.t -> unit
 
@@ -334,6 +350,7 @@ val prefactor_integral_dense :
 
 val prefactor_integral_sparse :
   ?health:Health.t ->
+  ?slu_symbolic:Slu.symbolic option ref ->
   (float list, sparse_block) Factor_cache.t ->
   key_salt:float list -> hii:float -> e:Csr.t -> a:Csr.t -> unit
 

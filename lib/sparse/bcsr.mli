@@ -1,0 +1,38 @@
+open Opm_numkit
+
+(** Bigarray-backed CSR storage: [int32] structure and [float64] values
+    held off the OCaml heap, so paper-scale pencils (n ≈ 100K, nnz in
+    the millions) contribute nothing to GC scan work.
+
+    Every operation mirrors the arithmetic of the array-backed {!Csr}
+    op term for term in the same order, so results agree with {!Csr}
+    to the last bit — a contract the differential tests enforce. *)
+
+type int_ba = (int32, Bigarray.int32_elt, Bigarray.c_layout) Bigarray.Array1.t
+type float_ba =
+  (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type t = {
+  rows : int;
+  cols : int;
+  row_ptr : int_ba;
+  col_ind : int_ba;
+  values : float_ba;
+}
+
+val of_csr : Csr.t -> t
+val to_csr : t -> Csr.t
+
+val dims : t -> int * int
+val nnz : t -> int
+
+val mul_vec : t -> Vec.t -> Vec.t
+(** [A x]; bit-identical to {!Csr.mul_vec} on the same matrix. *)
+
+val tmul_vec : t -> Vec.t -> Vec.t
+(** [Aᵀ x]; bit-identical to {!Csr.tmul_vec}. *)
+
+val scale : float -> t -> t
+val add : ?alpha:float -> ?beta:float -> t -> t -> t
+(** [add ~alpha ~beta a b = alpha·a + beta·b] over the union pattern,
+    keeping exact zeros, like {!Csr.add}. *)

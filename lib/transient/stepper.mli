@@ -1,4 +1,4 @@
-
+open Opm_sparse
 open Opm_signal
 open Opm_core
 
@@ -8,13 +8,17 @@ open Opm_core
 
     Each scheme advances [E ẋ = A x + B u] with a fixed step [h] from
     [x(0) = 0] and factorises its iteration matrix exactly once —
-    matching the complexity regime OPM is compared to. *)
+    matching the complexity regime OPM is compared to. The run is
+    streaming: only the most recent state vector (two for Gear) is
+    live, so paper-scale grids (n ≈ 10⁵, thousands of steps) cost
+    O(n) state memory. *)
 
 type scheme = Backward_euler | Trapezoidal | Gear2
 
 val scheme_name : scheme -> string
 
 val solve :
+  ?symbolic:Slu.symbolic option ref ->
   scheme:scheme ->
   h:float ->
   t_end:float ->
@@ -24,9 +28,17 @@ val solve :
 (** Output waveform [y = C x] sampled at [t_k = k·h], [k = 0 … ⌈T/h⌉].
     Gear's first step falls back to backward Euler. Raises
     [Invalid_argument] on non-positive [h] or [t_end], or if the source
-    count does not match the system's inputs. *)
+    count does not match the system's inputs.
+
+    [?symbolic] shares one sparse symbolic analysis across every
+    iteration matrix factored through it: all schemes' pencils carry
+    the union sparsity pattern of [E] and [A], so Gear's two matrices
+    — and runs of {e different} schemes on the same system when the
+    caller passes one hint throughout — pay the symbolic work once
+    ({!Slu.factor_hinted}). *)
 
 val solve_states :
+  ?symbolic:Slu.symbolic option ref ->
   scheme:scheme ->
   h:float ->
   t_end:float ->

@@ -8,6 +8,13 @@
 # the output). A backtrace from an unstructured exception, a wedged
 # process, or a "successful" run emitting non-finite numbers all fail.
 #
+# The factor site additionally runs at the *second* occurrence: with
+# the symbolic/numeric split, every factorisation after the first of a
+# given structure is a numeric-only refactorisation replaying a
+# recorded analysis, and a fault landing there must behave exactly
+# like one at a fresh factorisation — escalate to the strict rung or
+# die with a structured error, never a wrong answer.
+#
 # The plan reaches the solver through OPM_FAULT_PLAN, armed at
 # opm_robust initialisation, so the examples need no wiring. Sites an
 # example never visits simply don't fire, which leaves the run
@@ -27,38 +34,49 @@ kinds="singular nan-poison enospc latency"
 
 status=0
 runs=0
-for exe in "$@"; do
+
+# run one example under one plan and apply the resilience invariant
+check_plan() {
+  exe=$1
+  plan=$2
   name=$(basename "$exe" .exe)
+  out=$(OPM_FAULT_PLAN="$plan" timeout 60 "$exe" 2>&1)
+  code=$?
+  runs=$((runs + 1))
+  if [ "$code" -eq 0 ]; then
+    # clean completion: recovery (or a site this example never
+    # reaches) — the delivered waveform must be finite
+    if printf '%s' "$out" | grep -Eiqw 'nan|inf'; then
+      echo "fault-matrix: $name [$plan] exited 0 with non-finite output:" >&2
+      printf '%s\n' "$out" | grep -Eiw 'nan|inf' | head -3 >&2
+      status=1
+    fi
+  elif [ "$code" -ge 124 ]; then
+    # 124 = timeout, 128+n = killed by signal (segfault, abort)
+    echo "fault-matrix: $name [$plan] died unstructured (status $code)" >&2
+    status=1
+  else
+    # non-zero exit: only acceptable when the failure is the
+    # structured kind — the registered exception printers or an
+    # example's own error rendering
+    if ! printf '%s' "$out" \
+        | grep -Eq 'Opm_error\.Error|Window\.Interrupted|error:'; then
+      echo "fault-matrix: $name [$plan] failed without a structured error (status $code):" >&2
+      printf '%s\n' "$out" | tail -3 >&2
+      status=1
+    fi
+  fi
+}
+
+for exe in "$@"; do
   for site in $sites; do
     for kind in $kinds; do
-      plan="$seed:$site:$kind:1"
-      out=$(OPM_FAULT_PLAN="$plan" timeout 60 "$exe" 2>&1)
-      code=$?
-      runs=$((runs + 1))
-      if [ "$code" -eq 0 ]; then
-        # clean completion: recovery (or a site this example never
-        # reaches) — the delivered waveform must be finite
-        if printf '%s' "$out" | grep -Eiqw 'nan|inf'; then
-          echo "fault-matrix: $name [$plan] exited 0 with non-finite output:" >&2
-          printf '%s\n' "$out" | grep -Eiw 'nan|inf' | head -3 >&2
-          status=1
-        fi
-      elif [ "$code" -ge 124 ]; then
-        # 124 = timeout, 128+n = killed by signal (segfault, abort)
-        echo "fault-matrix: $name [$plan] died unstructured (status $code)" >&2
-        status=1
-      else
-        # non-zero exit: only acceptable when the failure is the
-        # structured kind — the registered exception printers or an
-        # example's own error rendering
-        if ! printf '%s' "$out" \
-            | grep -Eq 'Opm_error\.Error|Window\.Interrupted|error:'; then
-          echo "fault-matrix: $name [$plan] failed without a structured error (status $code):" >&2
-          printf '%s\n' "$out" | tail -3 >&2
-          status=1
-        fi
-      fi
+      check_plan "$exe" "$seed:$site:$kind:1"
     done
+  done
+  # refactor path: second hit of the factor site
+  for kind in $kinds; do
+    check_plan "$exe" "$seed:factor:$kind:2"
   done
 done
 

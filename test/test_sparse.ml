@@ -274,6 +274,270 @@ let prop_slu_random =
       let xd = Lu.solve_dense d b in
       Vec.max_abs_diff xs xd < 1e-8)
 
+(* ---------- Amd + symbolic/numeric split + Bcsr ---------- *)
+
+let is_permutation n p =
+  Array.length p = n
+  &&
+  let seen = Array.make n false in
+  Array.for_all
+    (fun v ->
+      if v < 0 || v >= n || seen.(v) then false
+      else begin
+        seen.(v) <- true;
+        true
+      end)
+    p
+
+let rlc_pencil seed nodes =
+  let net =
+    Opm_circuit.Generators.random_rlc ~seed ~nodes
+      ~input:(Opm_signal.Source.Dc 1e-3) ()
+  in
+  let sys, _ = Opm_circuit.Mna.stamp_linear net in
+  Csr.add ~alpha:2e11 ~beta:(-1.0) sys.Opm_core.Descriptor.e
+    sys.Opm_core.Descriptor.a
+
+let grid_system nx ny nz =
+  let spec = { Opm_circuit.Power_grid.default_spec with nx; ny; nz } in
+  let net = Opm_circuit.Power_grid.generate spec in
+  let probe =
+    [ Opm_circuit.Mna.Node_voltage (Opm_circuit.Power_grid.node_name ~x:0 ~y:0 ~z:0) ]
+  in
+  fst (Opm_circuit.Mna.stamp_linear ~outputs:probe net)
+
+let grid_pencil ?(h = 1e-11) nx ny nz =
+  let sys = grid_system nx ny nz in
+  Csr.add ~alpha:(2.0 /. h) ~beta:(-1.0) sys.Opm_core.Descriptor.e
+    sys.Opm_core.Descriptor.a
+
+let test_amd_permutation_rlc () =
+  List.iter
+    (fun seed ->
+      let a = rlc_pencil seed (20 + seed) in
+      let n, _ = Csr.dims a in
+      check_bool
+        (Printf.sprintf "amd is a permutation (rlc seed %d)" seed)
+        true
+        (is_permutation n (Amd.ordering a)))
+    [ 1; 2; 3; 4; 5 ]
+
+let test_amd_permutation_grid () =
+  let a = grid_pencil 6 5 3 in
+  let n, _ = Csr.dims a in
+  check_bool "amd is a permutation (power grid)" true
+    (is_permutation n (Amd.ordering a))
+
+let test_amd_fill_le_natural () =
+  let a = grid_pencil 6 6 3 in
+  let f_amd = Slu.factor ~ordering:`Amd a in
+  let f_nat = Slu.factor ~ordering:`Natural a in
+  check_bool
+    (Printf.sprintf "fill %d (amd) <= %d (natural)" (Slu.nnz_factors f_amd)
+       (Slu.nnz_factors f_nat))
+    true
+    (Slu.nnz_factors f_amd <= Slu.nnz_factors f_nat)
+
+let test_amd_solves_grid () =
+  let a = grid_pencil 5 4 3 in
+  let n, _ = Csr.dims a in
+  let b = Array.init n (fun i -> sin (float_of_int i)) in
+  let x = Slu.solve (Slu.factor ~ordering:`Amd a) b in
+  let r = Vec.sub (Csr.mul_vec a x) b in
+  check_bool "amd-ordered solve residual" true
+    (Vec.norm2 r /. Vec.norm2 b < 1e-9)
+
+let test_refactor_bit_identical () =
+  let check_one name a =
+    let n, _ = Csr.dims a in
+    let s, f0 = Slu.analyze a in
+    let f1 = Slu.refactor s a in
+    let fresh = Slu.factor a in
+    let b = Array.init n (fun i -> sin (float_of_int (i + 1))) in
+    let x0 = Slu.solve f0 b in
+    check_bool (name ^ ": refactor = analyze factor, bit for bit") true
+      (Slu.solve f1 b = x0);
+    check_bool (name ^ ": refactor = fresh factor, bit for bit") true
+      (Slu.solve fresh b = x0)
+  in
+  check_one "random" (Csr.of_dense (random_sparse 41 60));
+  check_one "grid" (grid_pencil 5 4 3);
+  check_one "rlc" (rlc_pencil 9 30)
+
+let test_refactor_new_values () =
+  (* the real workload: same pattern, different pencil diagonal *)
+  let sys = grid_system 4 4 2 in
+  let pencil h =
+    Csr.add ~alpha:(2.0 /. h) ~beta:(-1.0) sys.Opm_core.Descriptor.e
+      sys.Opm_core.Descriptor.a
+  in
+  let a1 = pencil 1e-11 and a2 = pencil 2.5e-11 in
+  let s, _ = Slu.analyze a1 in
+  let f2 = Slu.refactor s a2 in
+  let n, _ = Csr.dims a2 in
+  let b = Array.init n (fun i -> cos (float_of_int i)) in
+  let x = Slu.solve f2 b in
+  let r = Vec.sub (Csr.mul_vec a2 x) b in
+  check_bool "refactored pencil residual" true
+    (Vec.norm2 r /. Vec.norm2 b < 1e-9)
+
+let test_refactor_pattern_mismatch () =
+  let s, _ = Slu.analyze (grid_pencil 4 4 2) in
+  check_bool "different size raises" true
+    (try
+       ignore (Slu.refactor s (rlc_pencil 3 10));
+       false
+     with Slu.Pattern_mismatch -> true);
+  let a = Csr.of_dense (random_sparse 61 20) in
+  let s20, _ = Slu.analyze a in
+  check_bool "same size, different pattern raises" true
+    (try
+       ignore (Slu.refactor s20 (Csr.of_dense (random_sparse 62 20)));
+       false
+     with Slu.Pattern_mismatch -> true)
+
+let test_singular_named_in_original_order () =
+  let n = 12 in
+  let d0 = random_sparse 53 n in
+  (* structurally disconnect unknown 7 *)
+  let d =
+    Mat.init n n (fun i j -> if i = 7 || j = 7 then 0.0 else Mat.get d0 i j)
+  in
+  let s = Csr.of_dense d in
+  List.iter
+    (fun (name, ord) ->
+      match Slu.factor ~ordering:ord s with
+      | _ -> Alcotest.fail (name ^ ": expected Singular")
+      | exception Slu.Singular k ->
+          check_int (name ^ " names the original unknown") 7 k)
+    [ ("amd", `Amd); ("rcm", `Rcm); ("natural", `Natural) ]
+
+let test_refactor_singular_named () =
+  let n = 9 in
+  let d = Mat.init n n (fun i j -> if i = j then float_of_int (i + 2) else 0.0) in
+  let a = Csr.of_dense d in
+  let s, _ = Slu.analyze ~ordering:`Amd a in
+  let values = Array.copy a.Csr.values in
+  Array.iteri (fun k c -> if c = 4 then values.(k) <- 0.0) a.Csr.col_ind;
+  let a2 = { a with Csr.values } in
+  match Slu.refactor s a2 with
+  | _ -> Alcotest.fail "expected Singular from refactor"
+  | exception Slu.Singular k ->
+      check_int "refactor names the original unknown under `Amd" 4 k
+
+let test_refactor_unstable_and_hint_fallback () =
+  let a1 = Csr.of_dense (Mat.of_arrays [| [| 1.0; 0.5 |]; [| 0.5; 1.0 |] |]) in
+  let a2 =
+    Csr.of_dense (Mat.of_arrays [| [| 1e-8; 1.0 |]; [| 1.0; 1e-8 |] |])
+  in
+  let s, _ = Slu.analyze a1 in
+  check_bool "degraded pivot raises Unstable" true
+    (try
+       ignore (Slu.refactor s a2);
+       false
+     with Slu.Unstable _ -> true);
+  (* the hinted path must recover with a fresh analysis, never a wrong
+     answer *)
+  let hint = ref None in
+  ignore (Slu.factor_hinted ~hint a1);
+  check_bool "hint filled" true (!hint <> None);
+  let f2 = Slu.factor_hinted ~hint a2 in
+  let b = [| 1.0; -1.0 |] in
+  let r = Vec.sub (Csr.mul_vec a2 (Slu.solve f2 b)) b in
+  check_bool "hinted fallback residual" true (Vec.norm2 r < 1e-9)
+
+let test_solve_many_matches_map () =
+  let a = grid_pencil 4 4 2 in
+  let n, _ = Csr.dims a in
+  let f = Slu.factor a in
+  let bs =
+    Array.init 7 (fun r ->
+        Array.init n (fun i -> sin (float_of_int ((r * n) + i + 1))))
+  in
+  let seq = Array.map (Slu.solve f) bs in
+  check_bool "pooled back-solve batch bit-identical to sequential" true
+    (Slu.solve_many f bs = seq);
+  Opm_parallel.Pool.with_pool ~domains:3 (fun pool ->
+      check_bool "explicit pool bit-identical" true
+        (Slu.solve_many ~pool f bs = seq))
+
+(* Bigarray-backed storage must agree with the array-backed ops to the
+   last bit *)
+
+let bcsr_cases () =
+  let empty_rows =
+    Mat.init 12 12 (fun i j ->
+        if i mod 3 = 0 then 0.0
+        else if (i + j) mod 4 = 0 then float_of_int (i - j) /. 7.0
+        else 0.0)
+  in
+  let dup =
+    let c = Coo.create ~rows:8 ~cols:8 in
+    for k = 0 to 40 do
+      Coo.add c (k mod 8) (k * 3 mod 8) (sin (float_of_int k))
+    done;
+    (* duplicate coordinates on purpose: they merge in to_csr *)
+    Coo.add c 2 6 0.125;
+    Coo.add c 2 6 0.25;
+    Coo.to_csr c
+  in
+  [
+    ("random", Csr.of_dense (random_sparse ~dominant:false 47 18));
+    ("empty rows", Csr.of_dense empty_rows);
+    ("duplicate coords", dup);
+  ]
+
+let test_bcsr_roundtrip () =
+  List.iter
+    (fun (name, a) ->
+      let b = Bcsr.to_csr (Bcsr.of_csr a) in
+      check_bool (name ^ ": roundtrip row_ptr") true
+        (b.Csr.row_ptr = a.Csr.row_ptr);
+      check_bool (name ^ ": roundtrip col_ind") true
+        (b.Csr.col_ind = a.Csr.col_ind);
+      check_bool (name ^ ": roundtrip values") true (b.Csr.values = a.Csr.values))
+    (bcsr_cases ())
+
+let test_bcsr_ops_bit_identical () =
+  List.iter
+    (fun (name, a) ->
+      let b = Bcsr.of_csr a in
+      let rows, cols = Csr.dims a in
+      let x = Array.init cols (fun i -> cos (float_of_int (3 * i))) in
+      let xt = Array.init rows (fun i -> sin (float_of_int (2 * i))) in
+      check_bool (name ^ ": mul_vec bit-identical") true
+        (Bcsr.mul_vec b x = Csr.mul_vec a x);
+      check_bool (name ^ ": tmul_vec bit-identical") true
+        (Bcsr.tmul_vec b xt = Csr.tmul_vec a xt);
+      let sc = Bcsr.to_csr (Bcsr.scale (-0.37) b) in
+      check_bool (name ^ ": scale bit-identical") true
+        (sc.Csr.values = (Csr.scale (-0.37) a).Csr.values);
+      let other =
+        Csr.of_dense
+          (Mat.init rows cols (fun i j ->
+               if (i + (2 * j)) mod 3 = 0 then float_of_int (j - i) /. 11.0
+               else 0.0))
+      in
+      let s_ref = Csr.add ~alpha:1.25 ~beta:(-2.0) a other in
+      let s_big =
+        Bcsr.to_csr (Bcsr.add ~alpha:1.25 ~beta:(-2.0) b (Bcsr.of_csr other))
+      in
+      check_bool (name ^ ": add pattern identical") true
+        (s_big.Csr.row_ptr = s_ref.Csr.row_ptr
+        && s_big.Csr.col_ind = s_ref.Csr.col_ind);
+      check_bool (name ^ ": add values bit-identical") true
+        (s_big.Csr.values = s_ref.Csr.values))
+    (bcsr_cases ())
+
+let test_bcsr_factor_agrees () =
+  let a = grid_pencil 4 4 2 in
+  let n, _ = Csr.dims a in
+  let f_arr = Slu.factor a in
+  let f_big = Slu.factor_b (Bcsr.of_csr a) in
+  let b = Array.init n (fun i -> sin (float_of_int (i + 1))) in
+  check_bool "bigarray-backed factor solves bit-identically" true
+    (Slu.solve f_big b = Slu.solve f_arr b)
+
 let () =
   let t name f = Alcotest.test_case name `Quick f in
   let q = QCheck_alcotest.to_alcotest in
@@ -316,5 +580,29 @@ let () =
           t "dae pencil" test_slu_dae_pencil;
           t "tridiagonal no fill" test_slu_tridiagonal_no_fill;
           q prop_slu_random;
+        ] );
+      ( "amd",
+        [
+          t "permutation on random rlc" test_amd_permutation_rlc;
+          t "permutation on power grid" test_amd_permutation_grid;
+          t "fill <= natural on 3-d grid" test_amd_fill_le_natural;
+          t "solves grid pencil" test_amd_solves_grid;
+          t "singular named in original order"
+            test_singular_named_in_original_order;
+        ] );
+      ( "refactor",
+        [
+          t "bit-identical to fresh factor" test_refactor_bit_identical;
+          t "new values same pattern" test_refactor_new_values;
+          t "pattern mismatch raises" test_refactor_pattern_mismatch;
+          t "singular named under amd" test_refactor_singular_named;
+          t "unstable + hinted fallback" test_refactor_unstable_and_hint_fallback;
+          t "solve_many bit-identical" test_solve_many_matches_map;
+        ] );
+      ( "bcsr",
+        [
+          t "roundtrip" test_bcsr_roundtrip;
+          t "ops bit-identical" test_bcsr_ops_bit_identical;
+          t "factor agrees" test_bcsr_factor_agrees;
         ] );
     ]
