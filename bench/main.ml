@@ -13,7 +13,8 @@
      dune exec bench/main.exe -- parallel-sweep [--domains N]
      dune exec bench/main.exe -- window-scaling
      dune exec bench/main.exe -- rhs-conv     # FFT history crossover
-     dune exec bench/main.exe -- compiled-qps # factor-once serving throughput
+     dune exec bench/main.exe -- compiled-qps # factor-once query throughput
+     dune exec bench/main.exe -- serve        # HTTP daemon req/s + p99
      dune exec bench/main.exe -- resilience   # fault matrix + kill/resume
      dune exec bench/main.exe -- micro        # bechamel micro-benchmarks
 
@@ -1180,8 +1181,9 @@ let rhs_conv () =
    (Compiled_model.compile once, then per-query solves that touch only
    the input-dependent RHS). The two paths must agree bit for bit, and
    the compiled batch must perform exactly one pencil factorisation.
-   Emitted as BENCH_serve.json (opm-bench-v1; rows carry
-   queries_per_s instead of error_db).                                 *)
+   Emitted as BENCH_compiled.json (opm-bench-v1; rows carry
+   queries_per_s instead of error_db). The HTTP serving layer built on
+   this split is measured separately by [serve] below.                 *)
 
 let compiled_qps () =
   let n = if !smoke_mode then 24 else 96 in
@@ -1291,12 +1293,316 @@ let compiled_qps () =
     (if !smoke_mode then "(smoke sizes; the 5x target applies to the full run)"
      else if speedup >= 5.0 then "(>= 5x target: HOLDS)"
      else "(>= 5x target: VIOLATED)");
-  flush_json ~table:"compiled-qps" ~default_file:"BENCH_serve.json";
+  flush_json ~table:"compiled-qps" ~default_file:"BENCH_compiled.json";
   if not identical then exit 1;
   if factorisations <> 1 then begin
     Printf.eprintf
       "compiled-qps: expected exactly 1 factorisation, measured %d\n"
       factorisations;
+    exit 1
+  end
+
+(* serve — sustained HTTP serving throughput against an in-process
+   opm_serve daemon. A seeded mixed workload — hot-cache sweeps on one
+   plant (varying source amplitude, so every request shares the single
+   compiled model), cold plants (a fresh resistor value per request,
+   forcing a compile and exercising eviction against the bounded
+   cache), and malformed requests — driven by concurrent keep-alive
+   clients. Reports sustained requests/sec and p99 latency per class
+   into BENCH_serve.json. Every hot response is checked bit-identical
+   against the in-process reference; a single wrong answer fails the
+   bench (and the validator independently rejects any row with
+   wrong_answers > 0).                                                 *)
+
+let serve_bench () =
+  let clients = if !smoke_mode then 4 else 8 in
+  (* a multiple of the 20-slot schedule so every class (hot, cold,
+     malformed) is exercised even at smoke size *)
+  let per_client = if !smoke_mode then 20 else 60 in
+  let steps = if !smoke_mode then 96 else 512 in
+  let t_end = 0.005 in
+  header
+    (Printf.sprintf "serve — %d clients x %d mixed requests (steps = %d)"
+       clients per_client steps);
+  let module Server = Opm_serve.Server in
+  let server =
+    Server.start
+      ~config:{ Server.default_config with port = 0; cache_capacity = 8 }
+      ()
+  in
+  let port = Server.port server in
+  (* -- minimal keep-alive HTTP client ------------------------------ *)
+  let write_all fd s =
+    let b = Bytes.unsafe_of_string s in
+    let n = Bytes.length b in
+    let off = ref 0 in
+    while !off < n do
+      off := !off + Unix.write fd b !off (n - !off)
+    done
+  in
+  let read_response fd =
+    let buf = Buffer.create 4096 in
+    let tmp = Bytes.create 4096 in
+    let read_more () =
+      match Unix.read fd tmp 0 4096 with
+      | 0 -> failwith "serve bench: connection closed mid-response"
+      | n -> Buffer.add_subbytes buf tmp 0 n
+      | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | ETIMEDOUT), _, _)
+        ->
+          failwith "serve bench: client receive timeout"
+    in
+    let head_end () =
+      let s = Buffer.contents buf in
+      let rec find i =
+        if i + 3 >= String.length s then None
+        else if
+          s.[i] = '\r' && s.[i + 1] = '\n' && s.[i + 2] = '\r'
+          && s.[i + 3] = '\n'
+        then Some (i + 4)
+        else find (i + 1)
+      in
+      find 0
+    in
+    let rec wait_head () =
+      match head_end () with
+      | Some e -> e
+      | None ->
+          read_more ();
+          wait_head ()
+    in
+    let body_start = wait_head () in
+    let head = String.sub (Buffer.contents buf) 0 body_start in
+    let status =
+      match String.split_on_char ' ' head with
+      | _ :: code :: _ -> int_of_string code
+      | _ -> failwith "serve bench: malformed status line"
+    in
+    let content_length =
+      let tag = "content-length:" in
+      match
+        List.find_opt
+          (fun l ->
+            String.length l >= String.length tag
+            && String.sub l 0 (String.length tag) = tag)
+          (String.split_on_char '\n' (String.lowercase_ascii head))
+      with
+      | Some l ->
+          int_of_string
+            (String.trim
+               (String.sub l (String.length tag)
+                  (String.length l - String.length tag)))
+      | None -> failwith "serve bench: no Content-Length"
+    in
+    while Buffer.length buf < body_start + content_length do
+      read_more ()
+    done;
+    (status, String.sub (Buffer.contents buf) body_start content_length)
+  in
+  let request fd body =
+    write_all fd
+      (Printf.sprintf
+         "POST /solve HTTP/1.1\r\nHost: b\r\nContent-Length: %d\r\n\r\n%s"
+         (String.length body) body);
+    read_response fd
+  in
+  (* -- workload ---------------------------------------------------- *)
+  let hot_netlist amp =
+    Printf.sprintf "V1 in 0 step(%.17g)\nR1 in out 1k\nC1 out 0 1u\n" amp
+  in
+  let cold_netlist r =
+    Printf.sprintf "V1 in 0 step(1)\nR1 in out %d\nC1 out 0 1u\n" r
+  in
+  let solve_body netlist =
+    Printf.sprintf
+      "{\"netlist\":%s,\"analysis\":{\"t_end\":%g,\"steps\":%d,\"probes\":[\"out\"]}}"
+      (Json.to_string (Json.String netlist))
+      t_end steps
+  in
+  let amps = Array.init 16 (fun i -> 0.5 +. (0.25 *. float_of_int i)) in
+  (* in-process reference for the wrong-answer check on hot responses *)
+  let expected =
+    Array.map
+      (fun amp ->
+        let net = Parser.parse_string (hot_netlist amp) in
+        let sys, sources =
+          Mna.stamp ~outputs:[ Mna.Node_voltage "out" ] net
+        in
+        let r =
+          Opm.simulate_multi_term ~grid:(Grid.uniform ~t_end ~m:steps) sys
+            sources
+        in
+        r.Sim_result.outputs)
+      amps
+  in
+  let malformed_bodies =
+    [|
+      "not json at all";
+      "{\"netlist\":\"R1 a 0 1k\",\"analysis\":{\"t_end\":-1,\"steps\":8}}";
+      "{\"netlist\":\"X1 bogus\",\"analysis\":{\"t_end\":1,\"steps\":8}}";
+      "{\"analysis\":{\"t_end\":1,\"steps\":8}}";
+    |]
+  in
+  let floats_of j =
+    match Json.to_list_opt j with
+    | Some l -> Some (List.map Json.to_float_opt l)
+    | None -> None
+  in
+  let bits_equal_list want got =
+    List.length got = Array.length want
+    && List.for_all2
+         (fun g w ->
+           match g with
+           | Some g -> Int64.bits_of_float g = Int64.bits_of_float w
+           | None -> false)
+         got (Array.to_list want)
+  in
+  (* hot responses must be bit-identical to the in-process reference *)
+  let bits_match expected_wave body =
+    match Json.of_string body with
+    | exception Json.Parse_error _ -> false
+    | doc -> (
+        let times_ok =
+          match Option.bind (Json.member "times" doc) floats_of with
+          | Some got -> bits_equal_list expected_wave.Waveform.times got
+          | None -> false
+        in
+        times_ok
+        &&
+        match Option.bind (Json.member "outputs" doc) Json.to_list_opt with
+        | Some [ ch ] -> (
+            match floats_of ch with
+            | Some got ->
+                bits_equal_list expected_wave.Waveform.channels.(0) got
+            | None -> false)
+        | _ -> false)
+  in
+  (* cold responses need not match a precomputed reference (each is a
+     fresh plant) but must be well-formed 200s with finite samples *)
+  let finite_outputs body =
+    match Json.of_string body with
+    | exception Json.Parse_error _ -> false
+    | doc -> (
+        match Option.bind (Json.member "outputs" doc) Json.to_list_opt with
+        | Some (_ :: _ as chs) ->
+            List.for_all
+              (fun ch ->
+                match floats_of ch with
+                | Some got ->
+                    got <> []
+                    && List.for_all
+                         (function
+                           | Some g -> Float.is_finite g
+                           | None -> false)
+                         got
+                | None -> false)
+              chs
+        | _ -> false)
+  in
+  (* class schedule: deterministic 70/15/15 hot/cold/malformed mix *)
+  let class_of i =
+    let r = i mod 20 in
+    if r < 14 then `Hot else if r < 17 then `Cold else `Malformed
+  in
+  let latencies = Array.make clients [] in
+  let failures = Array.make clients None in
+  let client c =
+    try
+      let st = Random.State.make [| 20260808; 7 * c |] in
+      let fd = Unix.socket PF_INET SOCK_STREAM 0 in
+      Unix.setsockopt_float fd SO_RCVTIMEO 60.0;
+      Unix.connect fd (ADDR_INET (Unix.inet_addr_loopback, port));
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          for i = 0 to per_client - 1 do
+            let cls = class_of i in
+            let body, check =
+              match cls with
+              | `Hot ->
+                  let k = Random.State.int st (Array.length amps) in
+                  ( solve_body (hot_netlist amps.(k)),
+                    fun status body ->
+                      status = 200 && bits_match expected.(k) body )
+              | `Cold ->
+                  (* unique resistor per request: always a fresh plant *)
+                  let r = 1000 + (10 * ((c * per_client) + i)) + 1 in
+                  ( solve_body (cold_netlist r),
+                    fun status body -> status = 200 && finite_outputs body )
+              | `Malformed ->
+                  ( malformed_bodies.(Random.State.int st
+                                        (Array.length malformed_bodies)),
+                    fun status body ->
+                      status >= 400 && status < 500
+                      && Json.member "error" (Json.of_string body) <> None )
+            in
+            let t0 = Unix.gettimeofday () in
+            let status, body = request fd body in
+            let dt = Unix.gettimeofday () -. t0 in
+            latencies.(c) <- (cls, dt, check status body) :: latencies.(c)
+          done)
+    with e -> failures.(c) <- Some (Printexc.to_string e)
+  in
+  let t_wall, () =
+    wall (fun () ->
+        let threads = Array.init clients (fun c -> Thread.create client c) in
+        Array.iter Thread.join threads)
+  in
+  Server.stop server;
+  Array.iteri
+    (fun c -> function
+      | Some msg ->
+          Printf.eprintf "serve: client %d failed: %s\n" c msg;
+          exit 1
+      | None -> ())
+    failures;
+  let all = Array.to_list latencies |> List.concat in
+  let p99 lats =
+    match lats with
+    | [] -> 0.0
+    | _ ->
+        let a = Array.of_list lats in
+        Array.sort compare a;
+        a.(max 0 (int_of_float (ceil (0.99 *. float_of_int (Array.length a))) - 1))
+  in
+  Printf.printf "%-16s %8s %12s %12s %8s\n" "class" "requests" "req/s"
+    "p99" "wrong";
+  rule ();
+  let total_wrong = ref 0 in
+  let class_row method_ filter =
+    let sel = List.filter (fun (cls, _, _) -> filter cls) all in
+    let count = List.length sel in
+    let wrong = List.length (List.filter (fun (_, _, ok) -> not ok) sel) in
+    total_wrong := !total_wrong + wrong;
+    let lats = List.map (fun (_, dt, _) -> dt) sel in
+    let rps = float_of_int count /. t_wall in
+    let p99_s = p99 lats in
+    Printf.printf "%-16s %8d %12.1f %12s %8d\n" method_ count rps
+      (pp_time p99_s) wrong;
+    if !json_mode && count > 0 then
+      json_rows :=
+        Json.Obj
+          [
+            ("method", Json.String method_);
+            ("n", Json.Int count);
+            ("m", Json.Int steps);
+            ("wall_s", Json.Float t_wall);
+            ("requests_per_s", Json.Float rps);
+            ("p99_ms", Json.Float (p99_s *. 1e3));
+            ("wrong_answers", Json.Int wrong);
+          ]
+        :: !json_rows
+  in
+  class_row "serve-hot" (fun c -> c = `Hot);
+  class_row "serve-cold" (fun c -> c = `Cold);
+  class_row "serve-malformed" (fun c -> c = `Malformed);
+  class_row "serve-total" (fun _ -> true);
+  rule ();
+  Printf.printf "sustained %.1f requests/s over %s; wrong answers: %d\n"
+    (float_of_int (List.length all) /. t_wall)
+    (pp_time t_wall) !total_wrong;
+  flush_json ~table:"serve" ~default_file:"BENCH_serve.json";
+  if !total_wrong > 0 then begin
+    Printf.eprintf "serve: %d wrong answer(s) observed\n" !total_wrong;
     exit 1
   end
 
@@ -1452,6 +1758,7 @@ let () =
   | _ :: "window-scaling" :: _ -> window_scaling ()
   | _ :: "rhs-conv" :: _ -> rhs_conv ()
   | _ :: "compiled-qps" :: _ -> compiled_qps ()
+  | _ :: "serve" :: _ -> serve_bench ()
   | _ :: "resilience" :: _ -> resilience ()
   | _ :: "micro" :: _ -> micro ()
   | _ :: [] | _ :: "all" :: _ ->
@@ -1467,6 +1774,7 @@ let () =
       window_scaling ();
       rhs_conv ();
       compiled_qps ();
+      serve_bench ();
       resilience ();
       micro ()
   | _ :: cmd :: _ ->
@@ -1474,7 +1782,7 @@ let () =
         "unknown command %s (try table1, table2, ablation-basis, \
          ablation-adaptive, ablation-kron, convergence, fft-sweep, \
          parallel-sweep, obs-overhead, window-scaling, rhs-conv, \
-         compiled-qps, resilience, micro, all)\n"
+         compiled-qps, serve, resilience, micro, all)\n"
         cmd;
       exit 1
   | [] -> assert false

@@ -9,9 +9,14 @@
      and [error_db] — NaN/Inf serialise as [null] and therefore fail
      the numeric check, which is how a poisoned benchmark run is caught
      in CI;
-   - the serving table ("compiled-qps", BENCH_serve.json) replaces
-     [error_db] with [queries_per_s], which must be finite and
-     strictly positive;
+   - the query-throughput table ("compiled-qps", BENCH_compiled.json)
+     replaces [error_db] with [queries_per_s], which must be finite
+     and strictly positive;
+   - the HTTP serving table ("serve", BENCH_serve.json) instead
+     requires a closed method vocabulary {serve-hot, serve-cold,
+     serve-malformed, serve-total}, strictly positive
+     [requests_per_s], finite non-negative [p99_ms], and
+     [wrong_answers = 0] on every row;
    - table-specific contracts: in the "rhs-conv" table every "rhs-fft"
      row must satisfy [error_db <= -200.0] (the 1e-10 relative
      agreement contract between the FFT and naive history paths);
@@ -87,9 +92,29 @@ let validate file =
       in
       if finite "wall_s" < 0.0 then fail "row %d: negative wall_s" i;
       if table = "compiled-qps" then begin
-        (* serving rows carry a throughput instead of an accuracy cell *)
+        (* query-throughput rows carry a rate instead of an accuracy
+           cell *)
         if finite "queries_per_s" <= 0.0 then
           fail "row %d: queries_per_s is not strictly positive" i
+      end
+      else if table = "serve" then begin
+        (* HTTP serving rows: closed method vocabulary, sustained
+           request rate strictly positive, p99 finite, and zero
+           wrong-answer outcomes — a daemon that answered even one hot
+           request with bits different from the in-process reference
+           fails validation even if the bench process was killed
+           before its own exit-code gate *)
+        (match method_ with
+        | "serve-hot" | "serve-cold" | "serve-malformed" | "serve-total" ->
+            ()
+        | s -> fail "row %d: serve method %S is not in the closed set" i s);
+        if finite "requests_per_s" <= 0.0 then
+          fail "row %d: requests_per_s is not strictly positive" i;
+        if finite "p99_ms" < 0.0 then fail "row %d: negative p99_ms" i;
+        match Json.to_int_opt (get "wrong_answers") with
+        | Some 0 -> ()
+        | Some k -> fail "row %d (%s): %d wrong answer(s)" i method_ k
+        | None -> fail "row %d: wrong_answers is not an integer" i
       end
       else begin
         let error_db = finite "error_db" in

@@ -128,6 +128,19 @@ let queries t = t.queries
 
 let backend t = t.backend
 
+(* Per-model factor statistics, read from this model's own caches. The
+   [compiled.factor_reuse] metrics counter aggregates over every model
+   in the process — useless to a server that hosts many plants and
+   must report (and test) reuse per plant — whereas the
+   [Engine.Factor_cache] hit/miss counters live on the cache records
+   themselves, so summing the model's two caches is exactly the
+   per-plant view. *)
+let factor_reuse t =
+  Engine.Factor_cache.hits t.fc_d + Engine.Factor_cache.hits t.fc_s
+
+let factorisations t =
+  Engine.Factor_cache.misses t.fc_d + Engine.Factor_cache.misses t.fc_s
+
 let compile ?(backend = `Auto) ?health ?window ?memory_len ~grid
     (sys : Multi_term.t) =
   Trace.with_span "compiled.compile" @@ fun () ->

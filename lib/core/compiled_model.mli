@@ -121,6 +121,19 @@ val solve_coeffs :
 val queries : t -> int
 (** Queries answered so far. *)
 
+val factor_reuse : t -> int
+(** Pencil lookups served from {e this model's} factor caches — the
+    per-plant counterpart of the process-global [compiled.factor_reuse]
+    metrics counter (which sums every model in the process and
+    therefore cannot attribute reuse to a plant). On a uniform-grid
+    model this increments once per query. *)
+
+val factorisations : t -> int
+(** Pencil factorisations {e this model} has performed (cache misses of
+    its own caches, the compile-time prefactorisation included). A
+    healthy uniform-grid model reports [1] for its whole lifetime —
+    the factor-once contract a serving layer asserts per plant. *)
+
 val grid : t -> Grid.t
 
 val system : t -> Multi_term.t

@@ -15,12 +15,14 @@ type site =
   | Window_handoff
   | Checkpoint_write
   | Pool_dispatch
+  | Accept
+  | Request_dispatch
 
 type kind = Singular | Nan_poison | Enospc | Latency
 
 type plan = { seed : int; site : site; kind : kind; nth : int }
 
-let nsites = 6
+let nsites = 8
 
 let site_index = function
   | Factor -> 0
@@ -29,10 +31,12 @@ let site_index = function
   | Window_handoff -> 3
   | Checkpoint_write -> 4
   | Pool_dispatch -> 5
+  | Accept -> 6
+  | Request_dispatch -> 7
 
 let all_sites =
   [ Factor; Column_solve; Fft_block; Window_handoff; Checkpoint_write;
-    Pool_dispatch ]
+    Pool_dispatch; Accept; Request_dispatch ]
 
 let all_kinds = [ Singular; Nan_poison; Enospc; Latency ]
 
@@ -43,6 +47,8 @@ let site_to_string = function
   | Window_handoff -> "window-handoff"
   | Checkpoint_write -> "checkpoint-write"
   | Pool_dispatch -> "pool-dispatch"
+  | Accept -> "accept"
+  | Request_dispatch -> "request-dispatch"
 
 let site_of_string = function
   | "factor" -> Some Factor
@@ -51,6 +57,8 @@ let site_of_string = function
   | "window-handoff" -> Some Window_handoff
   | "checkpoint-write" -> Some Checkpoint_write
   | "pool-dispatch" -> Some Pool_dispatch
+  | "accept" -> Some Accept
+  | "request-dispatch" -> Some Request_dispatch
   | _ -> None
 
 let kind_to_string = function

@@ -19,12 +19,13 @@
     The plan string is [seed:site:nth] (kind derived deterministically
     from the seed) or [seed:site:kind:nth] (explicit). Sites:
     [factor], [column-solve], [fft-block], [window-handoff],
-    [checkpoint-write], [pool-dispatch]. Kinds: [singular],
-    [nan-poison], [enospc], [latency].
+    [checkpoint-write], [pool-dispatch], [accept], [request-dispatch].
+    Kinds: [singular], [nan-poison], [enospc], [latency].
 
     When no plan is armed, [fire] is one atomic load — the
     disabled-path overhead gated by [bench resilience]. Counters are
-    atomic; the pool-dispatch site fires from worker domains. *)
+    atomic; the pool-dispatch site fires from worker domains and the
+    two server sites from the daemon's accept/connection threads. *)
 
 type site =
   | Factor  (** pencil factorisation (dense LU / sparse LU) *)
@@ -33,6 +34,8 @@ type site =
   | Window_handoff  (** cross-window state carry in [Window.solve] *)
   | Checkpoint_write  (** atomic checkpoint file write *)
   | Pool_dispatch  (** parallel-pool chunk dispatch *)
+  | Accept  (** [opm_serve] connection accept *)
+  | Request_dispatch  (** [opm_serve] parsed-request dispatch *)
 
 type kind = Singular | Nan_poison | Enospc | Latency
 
