@@ -13,6 +13,7 @@
      dune exec bench/main.exe -- parallel-sweep [--domains N]
      dune exec bench/main.exe -- window-scaling
      dune exec bench/main.exe -- rhs-conv     # FFT history crossover
+     dune exec bench/main.exe -- basis        # spectral vs BPF crossover
      dune exec bench/main.exe -- compiled-qps # factor-once query throughput
      dune exec bench/main.exe -- serve        # HTTP daemon req/s + p99
      dune exec bench/main.exe -- resilience   # fault matrix + kill/resume
@@ -1702,6 +1703,263 @@ let parse_grid_cli args =
   go args;
   !cli
 
+(* ------------------------------------------------------------------ *)
+(* basis — spectral Jacobi-Gauss collocation vs block pulses on the
+   Table-I-class fractional line. The headline crossover: on a smooth
+   drive, the smallest spectral m whose error beats the largest BPF
+   run's must be >= 10x cheaper in wall time. A mid-interval step drive
+   is the Gibbs counter-case: there BPF must win at matched wall.      *)
+
+let basis_bench () =
+  header "Basis — spectral collocation vs block pulses (fractional t-line)";
+  let sys = Tline.model () in
+  let mt = Multi_term.of_fractional ~alpha:Tline.alpha sys in
+  let t_end = Tline.t_end in
+  let n = Tline.order in
+  (* smooth Table-I-class drive: u(0) = u'(0) = 0 keeps the solution
+     layer at t^{2+alpha}, so the collocation error falls off a cliff;
+     a step drive would cap it at the algebraic t^alpha rate *)
+  let omega = 2.0 *. Float.pi *. 1.5 /. t_end in
+  let smooth =
+    [| Source.Fn (fun t -> 1.0 -. cos (omega *. t)); Source.Dc 0.0 |]
+  in
+  let rel_err yref y =
+    let q, k = Mat.dims y in
+    let num = ref 0.0 and den = ref 0.0 in
+    for r = 0 to q - 1 do
+      for i = 0 to k - 1 do
+        let d = Mat.get y r i -. Mat.get yref r i in
+        num := !num +. (d *. d);
+        den := !den +. (Mat.get yref r i *. Mat.get yref r i)
+      done
+    done;
+    20.0 *. log10 (sqrt (!num /. !den))
+  in
+  (* reference: a self-converged spectral run far past every candidate,
+     cross-validated below by the independent BPF discretisation
+     converging monotonically towards it and a GL sanity row *)
+  let m_ref = if !smoke_mode then 96 else 128 in
+  let sp_ref =
+    Spectral_solver.compile ~grid:(Grid.uniform ~t_end ~m:m_ref) mt
+  in
+  let z_ref = Spectral_solver.solve_nodal sp_ref smooth in
+  let y_at times =
+    Mat.mul mt.Multi_term.c (Spectral_solver.sample sp_ref z_ref times)
+  in
+  let fine_times =
+    Array.init 257 (fun i -> t_end *. (0.5 +. float_of_int i) /. 257.0)
+  in
+  let y_ref_fine = y_at fine_times in
+  Printf.printf "%-16s %6s  %12s  %s\n" "method" "m" "wall" "err vs ref (dB)";
+  rule ();
+  let spectral_ms =
+    if !smoke_mode then [ 8; 16; 24; 32 ] else [ 8; 16; 24; 32; 48; 64 ]
+  in
+  let spectral_rows =
+    List.map
+      (fun m ->
+        let grid = Grid.uniform ~t_end ~m in
+        let wall_s, y =
+          timed (fun () ->
+              let sp = Spectral_solver.compile ~grid mt in
+              let z = Spectral_solver.solve_nodal sp smooth in
+              Mat.mul mt.Multi_term.c (Spectral_solver.sample sp z fine_times))
+        in
+        let err = rel_err y_ref_fine y in
+        Printf.printf "%-16s %6d  %12s  %10.1f\n" "opm-spectral" m
+          (pp_time wall_s) err;
+        add_row
+          ~extra:[ ("basis", Json.String "spectral") ]
+          ~method_:"opm-spectral" ~n ~m ~wall_s ~error_db:err ();
+        (m, wall_s, err))
+      spectral_ms
+  in
+  let bpf_ms =
+    if !smoke_mode then [ 64; 256; 1024 ] else [ 64; 256; 1024; 4096 ]
+  in
+  let bpf_rows =
+    List.map
+      (fun m ->
+        let grid = Grid.uniform ~t_end ~m in
+        let runs = if m >= 2048 then 1 else 3 in
+        let wall_s, res =
+          timed ~runs (fun () -> Opm.simulate_multi_term ~grid mt smooth)
+        in
+        let y = Mat.mul mt.Multi_term.c res.Sim_result.x in
+        let err = rel_err (y_at (Grid.midpoints grid)) y in
+        Printf.printf "%-16s %6d  %12s  %10.1f\n" "opm-bpf" m (pp_time wall_s)
+          err;
+        add_row
+          ~extra:[ ("basis", Json.String "bpf") ]
+          ~method_:"opm" ~n ~m ~wall_s ~error_db:err ();
+        (m, wall_s, err))
+      bpf_ms
+  in
+  (* reference cross-check 1: the BPF errors (independent discretisation)
+     must decrease monotonically towards the spectral reference *)
+  let bpf_monotone =
+    let errs = List.map (fun (_, _, e) -> e) bpf_rows in
+    List.for_all2 (fun a b -> b < a)
+      (List.filteri (fun i _ -> i < List.length errs - 1) errs)
+      (List.tl errs)
+  in
+  (* reference cross-check 2: GL sanity row (O(h), so loose) *)
+  let m_gl = if !smoke_mode then 512 else 2048 in
+  let wall_gl, wf_gl =
+    timed ~runs:1 (fun () ->
+        Grunwald.solve
+          ~h:(t_end /. float_of_int m_gl)
+          ~alpha:Tline.alpha ~t_end sys smooth)
+  in
+  let err_gl =
+    let times = wf_gl.Waveform.times in
+    let y = Mat.init (Array.length wf_gl.Waveform.channels) (Array.length times)
+        (fun r i -> wf_gl.Waveform.channels.(r).(i)) in
+    rel_err (y_at times) y
+  in
+  Printf.printf "%-16s %6d  %12s  %10.1f\n" "gl" m_gl (pp_time wall_gl) err_gl;
+  add_row
+    ~extra:[ ("basis", Json.String "bpf") ]
+    ~method_:"gl" ~n ~m:m_gl ~wall_s:wall_gl ~error_db:err_gl ();
+  rule ();
+  (* crossover: smallest spectral m (<= 64) at or below the error of the
+     largest BPF run *)
+  let bpf_m, bpf_wall, bpf_err = List.hd (List.rev bpf_rows) in
+  let crossing =
+    List.filter (fun (m, _, e) -> m <= 64 && e <= bpf_err) spectral_rows
+  in
+  let holds, (cm, cwall, cerr) =
+    match crossing with
+    | [] -> (false, List.hd (List.rev spectral_rows))
+    | best :: _ -> (true, best)
+  in
+  let speedup = bpf_wall /. cwall in
+  Printf.printf
+    "crossover: spectral m=%d (%.1f dB, %s) vs bpf m=%d (%.1f dB, %s): %.1fx\n"
+    cm cerr (pp_time cwall) bpf_m bpf_err (pp_time bpf_wall) speedup;
+  Printf.printf "reference cross-check: bpf errors monotone decreasing: %s\n"
+    (if bpf_monotone then "HOLDS" else "VIOLATED");
+  add_row
+    ~extra:
+      [
+        ("basis", Json.String "spectral");
+        ("bpf_m", Json.Int bpf_m);
+        ("bpf_wall_s", Json.Float bpf_wall);
+        ("bpf_error_db", Json.Float bpf_err);
+        ("speedup", Json.Float speedup);
+      ]
+    ~method_:"crossover" ~n ~m:cm ~wall_s:cwall ~error_db:cerr ();
+  (* Gibbs counter-case: a step switching mid-interval. (The Table I
+     drive steps at t = 0, which makes it constant — hence smooth — on
+     the open simulation interval; only an interior discontinuity
+     produces the Gibbs oscillations that break a global polynomial
+     basis.) Equal-m comparison against a fine BPF reference (spectral
+     references are unreliable on discontinuous data — that is the
+     point). *)
+  let step =
+    [|
+      Source.Step { amplitude = 1.0; delay = 0.4 *. t_end }; Source.Dc 0.0;
+    |]
+  in
+  let m_step_ref = if !smoke_mode then 2048 else 8192 in
+  let ref_step =
+    Opm.simulate_multi_term
+      ~grid:(Grid.uniform ~t_end ~m:m_step_ref)
+      mt step
+  in
+  (* pairs (spectral m, bpf m) at matched-or-smaller BPF wall: on a
+     discontinuous source both bases converge algebraically, so the
+     equal-m contest is a coin flip — the robust claim is that a BPF
+     run costing a fraction of the spectral wall still wins on error *)
+  let gibbs_pairs =
+    List.map
+      (fun (m_sp, m_bp) ->
+        let yref_at mid =
+          let resampled = Waveform.resample ref_step.Sim_result.outputs mid in
+          Mat.init
+            (Array.length resampled.Waveform.channels)
+            (Array.length mid)
+            (fun q i -> resampled.Waveform.channels.(q).(i))
+        in
+        let mid_sp = Grid.midpoints (Grid.uniform ~t_end ~m:m_sp) in
+        let wall_sp, y_sp =
+          timed (fun () ->
+              let sp =
+                Spectral_solver.compile ~grid:(Grid.uniform ~t_end ~m:m_sp) mt
+              in
+              let z = Spectral_solver.solve_nodal sp step in
+              Mat.mul mt.Multi_term.c (Spectral_solver.sample sp z mid_sp))
+        in
+        let grid_bp = Grid.uniform ~t_end ~m:m_bp in
+        let wall_bp, res_bp =
+          timed (fun () -> Opm.simulate_multi_term ~grid:grid_bp mt step)
+        in
+        let y_bp = Mat.mul mt.Multi_term.c res_bp.Sim_result.x in
+        let e_sp = rel_err (yref_at mid_sp) y_sp in
+        let e_bp = rel_err (yref_at (Grid.midpoints grid_bp)) y_bp in
+        Printf.printf "%-16s %6d  %12s  %10.1f   (step drive)\n"
+          "gibbs-spectral" m_sp (pp_time wall_sp) e_sp;
+        Printf.printf "%-16s %6d  %12s  %10.1f   (step drive)\n" "gibbs-bpf"
+          m_bp (pp_time wall_bp) e_bp;
+        add_row
+          ~extra:[ ("basis", Json.String "spectral") ]
+          ~method_:"gibbs-spectral" ~n ~m:m_sp ~wall_s:wall_sp ~error_db:e_sp
+          ();
+        add_row
+          ~extra:[ ("basis", Json.String "bpf") ]
+          ~method_:"gibbs-bpf" ~n ~m:m_bp ~wall_s:wall_bp ~error_db:e_bp ();
+        e_bp < e_sp && wall_bp < wall_sp)
+      [ (32, 128); (64, 512) ]
+  in
+  let gibbs_holds = List.for_all Fun.id gibbs_pairs in
+  Printf.printf
+    "Gibbs boundary: bpf beats spectral on the step drive at matched wall: \
+     %s\n"
+    (if gibbs_holds then "HOLDS" else "VIOLATED");
+  (* factor-once contract through the compiled-model seam *)
+  let model =
+    Compiled_model.compile ~basis:`Spectral
+      ~grid:(Grid.uniform ~t_end ~m:32)
+      mt
+  in
+  let queries = if !smoke_mode then 50 else 200 in
+  let wall_q, () =
+    wall (fun () ->
+        for _ = 1 to queries do
+          ignore (Compiled_model.solve model smooth : Sim_result.t)
+        done)
+  in
+  let res_q = Compiled_model.solve model smooth in
+  let err_q =
+    rel_err
+      (y_at (Grid.midpoints (Compiled_model.grid model)))
+      (Mat.mul mt.Multi_term.c res_q.Sim_result.x)
+  in
+  let factorisations = Compiled_model.factorisations model in
+  Printf.printf
+    "compiled spectral: %d queries, %d factorisation(s), %.0f q/s\n" queries
+    factorisations
+    (float_of_int queries /. wall_q);
+  add_row
+    ~extra:
+      [
+        ("basis", Json.String "spectral");
+        ("factorisations", Json.Int factorisations);
+        ("queries", Json.Int (Compiled_model.queries model));
+        ("queries_per_s", Json.Float (float_of_int queries /. wall_q));
+      ]
+    ~method_:"spectral-compiled" ~n ~m:32
+    ~wall_s:(wall_q /. float_of_int queries)
+    ~error_db:err_q ();
+  flush_json ~table:"basis" ~default_file:"BENCH_basis.json";
+  let ok = holds && speedup >= 10.0 && bpf_monotone && gibbs_holds
+           && factorisations = 1 in
+  Printf.printf "basis gates (crossover >= 10x, monotone bpf, Gibbs, \
+                 factor-once): %s%s\n"
+    (if ok then "HOLDS" else "VIOLATED")
+    (if !smoke_mode && not ok then " (smoke: informational)" else "");
+  if (not ok) && not !smoke_mode then exit 1
+
 (* Global options accepted anywhere on the command line:
    [--domains N] sets the process-wide default pool size (same effect
    as OPM_DOMAINS=N); [--json], [--smoke] and [--json-out FILE] control
@@ -1757,6 +2015,7 @@ let () =
   | _ :: "obs-overhead" :: _ -> obs_overhead ()
   | _ :: "window-scaling" :: _ -> window_scaling ()
   | _ :: "rhs-conv" :: _ -> rhs_conv ()
+  | _ :: "basis" :: _ -> basis_bench ()
   | _ :: "compiled-qps" :: _ -> compiled_qps ()
   | _ :: "serve" :: _ -> serve_bench ()
   | _ :: "resilience" :: _ -> resilience ()
@@ -1773,6 +2032,7 @@ let () =
       obs_overhead ();
       window_scaling ();
       rhs_conv ();
+      basis_bench ();
       compiled_qps ();
       serve_bench ();
       resilience ();
@@ -1781,7 +2041,7 @@ let () =
       Printf.eprintf
         "unknown command %s (try table1, table2, ablation-basis, \
          ablation-adaptive, ablation-kron, convergence, fft-sweep, \
-         parallel-sweep, obs-overhead, window-scaling, rhs-conv, \
+         parallel-sweep, obs-overhead, window-scaling, rhs-conv, basis, \
          compiled-qps, serve, resilience, micro, all)\n"
         cmd;
       exit 1

@@ -143,6 +143,39 @@ let validate file =
              structure must pay its symbolic analysis exactly once)"
             i method_ reuse pencils
       end;
+      (* basis-selection contracts: every row names its basis; the
+         crossover row carries the headline claim (spectral reaches the
+         big-m BPF error with >= 10x less wall) as data, so a regressed
+         build fails validation, not just the bench's own exit gate;
+         the compiled row asserts factor-once *)
+      if table = "basis" then begin
+        (match get "basis" with
+        | Json.String ("bpf" | "spectral") -> ()
+        | Json.String s ->
+            fail "row %d: basis %S is not \"bpf\" or \"spectral\"" i s
+        | _ -> fail "row %d: basis is not a string" i);
+        if method_ = "crossover" then begin
+          let speedup = finite "speedup" in
+          if speedup < 10.0 then
+            fail
+              "row %d: crossover speedup %.2fx is below the 10x contract" i
+              speedup;
+          if finite "error_db" > finite "bpf_error_db" then
+            fail
+              "row %d: crossover spectral error %.1f dB is worse than BPF's \
+               %.1f dB"
+              i (finite "error_db") (finite "bpf_error_db")
+        end;
+        if method_ = "spectral-compiled" then
+          match Json.to_int_opt (get "factorisations") with
+          | Some 1 -> ()
+          | Some k ->
+              fail
+                "row %d: compiled spectral model performed %d factorisations \
+                 (the factor-once contract requires exactly 1)"
+                i k
+          | None -> fail "row %d: factorisations is not an integer" i
+      end;
       if table = "resilience" then
         match get "outcome" with
         | Json.String

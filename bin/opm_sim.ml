@@ -135,6 +135,28 @@ let memory_len_arg =
   in
   Arg.(value & opt (some int) None & info [ "memory-len" ] ~docv:"K" ~doc)
 
+let basis_conv : Compiled_model.basis Arg.conv =
+  let parse = function
+    | "bpf" -> Ok `Bpf
+    | "spectral" -> Ok `Spectral
+    | s -> Error (`Msg (Printf.sprintf "unknown basis %S (bpf|spectral)" s))
+  in
+  let print fmt b =
+    Format.pp_print_string fmt
+      (match b with `Bpf -> "bpf" | `Spectral -> "spectral")
+  in
+  Arg.conv (parse, print)
+
+let basis_arg =
+  let doc =
+    "Discretisation basis for the opm method: bpf (default, the paper's \
+     block pulses) or spectral (Jacobi-Gauss collocation — $(b,--steps) \
+     becomes the collocation-node count, so $(b,--basis spectral -m 32) \
+     replaces thousands of block pulses on smooth sources; discontinuous \
+     sources are better served by bpf)."
+  in
+  Arg.(value & opt basis_conv `Bpf & info [ "basis" ] ~docv:"BASIS" ~doc)
+
 let compile_arg =
   let doc =
     "Route the opm transient through an explicit compiled model: \
@@ -318,7 +340,7 @@ let with_state_names names f =
       (Opm_error.Singular_pencil { r with name = Some names.(step) })
 
 let run_tran ?health ?budget ?checkpoint ?checkpoint_every ?resume_from
-    ?window ?memory_len ~compile net outputs t_end steps method_ tol =
+    ?window ?memory_len ~basis ~compile net outputs t_end steps method_ tol =
   let t_end =
     match t_end with
     | Some t -> t
@@ -328,6 +350,12 @@ let run_tran ?health ?budget ?checkpoint ?checkpoint_every ?resume_from
   | Some _, (Be | Trap | Gear | Fft | Gl | Exact | Opm_adaptive) ->
       Printf.eprintf
         "opm_sim: warning: --window only applies to the opm methods; ignored\n%!"
+  | _ -> ());
+  (match (basis, method_) with
+  | `Spectral, (Be | Trap | Gear | Fft | Gl | Exact | Opm_adaptive | Integral)
+    ->
+      Printf.eprintf
+        "opm_sim: warning: --basis only applies to the opm method; ignored\n%!"
   | _ -> ());
   (match method_ with
   | _ when not compile -> ()
@@ -343,7 +371,8 @@ let run_tran ?health ?budget ?checkpoint ?checkpoint_every ?resume_from
         with_state_names mt.Multi_term.state_names (fun () ->
             handle_interrupted ~mt ~t_end ~steps (fun () ->
                 let model =
-                  Compiled_model.compile ?health ?window ?memory_len ~grid mt
+                  Compiled_model.compile ~basis ?health ?window ?memory_len
+                    ~grid mt
                 in
                 (Compiled_model.solve ?health ?budget ?checkpoint
                    ?checkpoint_every ?resume_from model srcs)
@@ -353,7 +382,7 @@ let run_tran ?health ?budget ?checkpoint ?checkpoint_every ?resume_from
         let grid = Grid.uniform ~t_end ~m:steps in
         with_state_names mt.Multi_term.state_names (fun () ->
             handle_interrupted ~mt ~t_end ~steps (fun () ->
-                (Opm.simulate_multi_term ?health ?budget ?checkpoint
+                (Opm.simulate_multi_term ~basis ?health ?budget ?checkpoint
                    ?checkpoint_every ?resume_from ?window ?memory_len ~grid mt
                    srcs)
                   .Sim_result.outputs))
@@ -575,13 +604,17 @@ let emit_observability ?resilience ~metrics ~trace ~report ~run_params health
 (* Flag validation (exit 2, one line on stderr): every value-range and
    path problem is caught here, before any netlist parsing or solver
    work, so a bad invocation can never produce a partial run. *)
-let validate_flags ~mode ~method_ ~steps ~window ~memory_len ~domains
+let validate_flags ~mode ~method_ ~steps ~window ~memory_len ~basis ~domains
     ~checkpoint ~resume ~checkpoint_every ~deadline ~max_factors ~max_heap
     ~fault =
   if steps <= 0 then usage "--steps must be positive (got %d)" steps;
   (match window with
   | Some w when w <= 0 -> usage "--window must be positive (got %d)" w
   | _ -> ());
+  (if basis = `Spectral && window <> None then
+     usage
+       "--basis spectral has no windowed form (the collocation operator is \
+        globally dense); drop --window");
   (match memory_len with
   | Some k when k <= 0 -> usage "--memory-len must be positive (got %d)" k
   | _ -> ());
@@ -629,11 +662,11 @@ let validate_flags ~mode ~method_ ~steps ~window ~memory_len ~domains
       | Error msg -> usage "--fault %s: %s" plan msg)
 
 let run netlist_path mode t_end steps method_ probes tol window memory_len
-    compile fstart fstop points no_fft_rhs domains check strict metrics trace
-    report checkpoint resume checkpoint_every deadline max_factors max_heap
-    fault =
+    basis compile fstart fstop points no_fft_rhs domains check strict metrics
+    trace report checkpoint resume checkpoint_every deadline max_factors
+    max_heap fault =
   try
-    validate_flags ~mode ~method_ ~steps ~window ~memory_len ~domains
+    validate_flags ~mode ~method_ ~steps ~window ~memory_len ~basis ~domains
       ~checkpoint ~resume ~checkpoint_every ~deadline ~max_factors ~max_heap
       ~fault;
     if no_fft_rhs then Engine.set_fft_rhs_enabled false;
@@ -663,8 +696,8 @@ let run netlist_path mode t_end steps method_ probes tol window memory_len
     (match mode with
     | Tran ->
         run_tran ?health ?budget ?checkpoint ~checkpoint_every
-          ?resume_from:resume ?window ?memory_len ~compile net outputs t_end
-          steps method_ tol
+          ?resume_from:resume ?window ?memory_len ~basis ~compile net outputs
+          t_end steps method_ tol
     | Ac_mode -> run_ac net outputs fstart fstop points
     | Dc_mode -> run_dc net outputs
     | Poles_mode -> run_poles net
@@ -755,7 +788,8 @@ let cmd =
   Cmd.v info
     Term.(
       const run $ netlist_arg $ mode_arg $ t_end_arg $ steps_arg $ method_arg
-      $ probes_arg $ tol_arg $ window_arg $ memory_len_arg $ compile_arg
+      $ probes_arg $ tol_arg $ window_arg $ memory_len_arg $ basis_arg
+      $ compile_arg
       $ fstart_arg $ fstop_arg $ points_arg $ no_fft_rhs_arg $ domains_arg
       $ check_arg $ strict_arg $ metrics_arg $ trace_arg $ report_arg
       $ checkpoint_arg $ resume_arg $ checkpoint_every_arg $ deadline_arg

@@ -5,6 +5,7 @@ module Metrics = Opm_obs.Metrics
 module Trace = Opm_obs.Trace
 
 type backend = [ `Auto | `Dense | `Sparse ]
+type basis = [ `Bpf | `Spectral ]
 
 let m_queries = Metrics.counter "compiled.queries"
 let m_factor_reuse = Metrics.counter "compiled.factor_reuse"
@@ -88,6 +89,7 @@ let shift_by_x0 x x0 =
    plan state, and the factored (pinned) pencil. Queries touch only the
    input-dependent RHS. *)
 type plan =
+  | Spectral of Spectral_solver.t
   | Windowed of { w : int }
   | Linear of { steps : float array; e_s : Csr.t; e_d : Mat.t Lazy.t }
   | General of {
@@ -136,19 +138,55 @@ let backend t = t.backend
    themselves, so summing the model's two caches is exactly the
    per-plant view. *)
 let factor_reuse t =
-  Engine.Factor_cache.hits t.fc_d + Engine.Factor_cache.hits t.fc_s
+  match t.plan with
+  | Spectral sp -> Spectral_solver.factor_reuse sp
+  | Windowed _ | Linear _ | General _ ->
+      Engine.Factor_cache.hits t.fc_d + Engine.Factor_cache.hits t.fc_s
 
 let factorisations t =
-  Engine.Factor_cache.misses t.fc_d + Engine.Factor_cache.misses t.fc_s
+  match t.plan with
+  | Spectral sp -> Spectral_solver.factorisations sp
+  | Windowed _ | Linear _ | General _ ->
+      Engine.Factor_cache.misses t.fc_d + Engine.Factor_cache.misses t.fc_s
 
-let compile ?(backend = `Auto) ?health ?window ?memory_len ~grid
-    (sys : Multi_term.t) =
+let basis t =
+  match t.plan with
+  | Spectral _ -> `Spectral
+  | Windowed _ | Linear _ | General _ -> `Bpf
+
+let compile ?(backend = `Auto) ?(basis = `Bpf) ?health ?window ?memory_len
+    ~grid (sys : Multi_term.t) =
   Trace.with_span "compiled.compile" @@ fun () ->
   let n = Multi_term.order sys in
   let m = Grid.size grid in
   (match window with
   | Some w when w < 1 -> invalid_arg "Opm: window width must be >= 1"
   | _ -> ());
+  match basis with
+  | `Spectral ->
+      (* the collocation operator has no windowed/streaming form: the
+         fractional differentiation matrix is globally dense, and m is
+         tiny by design, so there is no history to truncate either *)
+      if window <> None then
+        invalid_arg "Opm: ?window streaming requires the block-pulse basis";
+      if memory_len <> None then
+        invalid_arg "Opm: ?memory_len requires the block-pulse basis";
+      {
+        sys;
+        grid;
+        backend = pick_backend backend n;
+        memory_len = None;
+        uniform = true;
+        plan = Spectral (Spectral_solver.compile ?health ~grid sys);
+        fc_d = Engine.Factor_cache.create ();
+        fc_s = Engine.Factor_cache.create ();
+        slu_sym = ref None;
+        series_cache = Hashtbl.create 1;
+        a_dense = lazy (Csr.to_dense sys.Multi_term.a);
+        u_deriv = lazy (Block_pulse.differential_matrix grid);
+        queries = 0;
+      }
+  | `Bpf ->
   let backend = pick_backend backend n in
   let uniform =
     match grid with Grid.Uniform _ -> true | Grid.Adaptive _ -> false
@@ -286,17 +324,23 @@ let compile ?(backend = `Auto) ?health ?window ?memory_len ~grid
     queries = 0;
   }
 
-let compile_linear ?backend ?health ?window ?memory_len ~grid sys =
-  compile ?backend ?health ?window ?memory_len ~grid (Multi_term.of_linear sys)
+let compile_linear ?backend ?basis ?health ?window ?memory_len ~grid sys =
+  compile ?backend ?basis ?health ?window ?memory_len ~grid
+    (Multi_term.of_linear sys)
 
-let compile_fractional ?backend ?health ?window ?memory_len ~grid ~alpha sys =
-  compile ?backend ?health ?window ?memory_len ~grid
+let compile_fractional ?backend ?basis ?health ?window ?memory_len ~grid
+    ~alpha sys =
+  compile ?backend ?basis ?health ?window ?memory_len ~grid
     (Multi_term.of_fractional ~alpha sys)
 
 let solve_bu ?health ?budget ?checkpoint ?checkpoint_every ?resume_from t bu =
   Trace.with_span "compiled_solve" @@ fun () ->
   (match t.plan with
   | Windowed _ -> ()
+  | Spectral _ ->
+      invalid_arg
+        "Compiled_model: spectral-basis models sample sources at the \
+         collocation nodes — use solve, not BPF coefficients"
   | Linear _ | General _ ->
       if checkpoint <> None || resume_from <> None then
         invalid_arg
@@ -309,6 +353,7 @@ let solve_bu ?health ?budget ?checkpoint ?checkpoint_every ?resume_from t bu =
   in
   let x =
     match t.plan with
+    | Spectral _ -> assert false (* rejected above *)
     | Windowed { w } ->
         let x, _stats =
           Window.solve
@@ -363,6 +408,19 @@ let solve_coeffs ?health ?budget t u =
 
 let solve ?health ?budget ?checkpoint ?checkpoint_every ?resume_from ?x0 t
     sources =
+  match t.plan with
+  | Spectral sp ->
+      if checkpoint <> None || resume_from <> None then
+        invalid_arg
+          "Compiled_model.solve: checkpointing requires a windowed model \
+           (compile with ?window)";
+      ignore checkpoint_every;
+      t.queries <- t.queries + 1;
+      Metrics.incr m_queries;
+      let result = Spectral_solver.solve ?health ?budget ?x0 sp sources in
+      Metrics.incr m_factor_reuse;
+      result
+  | Windowed _ | Linear _ | General _ ->
   let bu =
     bu_matrix ~deriv:(fun () -> Lazy.force t.u_deriv) ~grid:t.grid t.sys
       sources

@@ -44,10 +44,20 @@ open Opm_signal
 
 type backend = [ `Auto | `Dense | `Sparse ]
 
+type basis = [ `Bpf | `Spectral ]
+(** The discretisation basis: [`Bpf] (default) is the paper's
+    block-pulse expansion with its triangular column recurrence;
+    [`Spectral] is the Jacobi-Gauss collocation backend of
+    {!Spectral_solver} — exponentially convergent on smooth sources, so
+    [m ≈ 32] collocation nodes replace thousands of block pulses (see
+    DESIGN.md §18 for the when-to-use table and the Gibbs caveat on
+    discontinuous sources). *)
+
 type t
 
 val compile :
   ?backend:backend ->
+  ?basis:basis ->
   ?health:Opm_robust.Health.t ->
   ?window:int ->
   ?memory_len:int ->
@@ -64,10 +74,20 @@ val compile :
     Adaptive grids compile too — the operational matrices are still
     amortised — but skip prefactoring and pinning (one pinned entry per
     distinct step would be unbounded); the first query factors and the
-    bounded cache carries the factors to later queries. *)
+    bounded cache carries the factors to later queries.
+
+    [?basis:`Spectral] compiles the Jacobi-Gauss collocation operator
+    instead ([Grid.size grid] becomes the collocation-node count; the
+    waveform views stay on the same grid's midpoints). The collocation
+    operator is input-independent, so the factor-once/query-many
+    contract carries over: exactly one factorisation at compile, every
+    query a back-solve. Spectral models are global by construction —
+    [?window]/[?memory_len] raise [Invalid_argument], and so do
+    adaptive grids. *)
 
 val compile_linear :
   ?backend:backend ->
+  ?basis:basis ->
   ?health:Opm_robust.Health.t ->
   ?window:int ->
   ?memory_len:int ->
@@ -78,6 +98,7 @@ val compile_linear :
 
 val compile_fractional :
   ?backend:backend ->
+  ?basis:basis ->
   ?health:Opm_robust.Health.t ->
   ?window:int ->
   ?memory_len:int ->
@@ -116,7 +137,9 @@ val solve_coeffs :
     derivative [U·D^r] when the system has one and returns the raw
     [n×m] state-coefficient matrix (zero initial state, no output
     projection). The step/impulse-response exporters are one-liners on
-    top of this. *)
+    top of this. Raises [Invalid_argument] on spectral-basis models:
+    their queries sample sources at collocation nodes, there is no BPF
+    coefficient layer to inject into. *)
 
 val queries : t -> int
 (** Queries answered so far. *)
@@ -140,6 +163,9 @@ val system : t -> Multi_term.t
 
 val backend : t -> [ `Dense | `Sparse ]
 (** The resolved backend ([`Auto] is resolved at compile time). *)
+
+val basis : t -> basis
+(** The basis this model was compiled in. *)
 
 (** {2 Shared OPM helpers}
 

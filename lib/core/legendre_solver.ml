@@ -2,7 +2,8 @@ open Opm_numkit
 open Opm_basis
 open Opm_signal
 
-let state_coefficients ?x0 ~t_end ~m (sys : Descriptor.t) sources =
+let state_coefficients ?health ?budget ?x0 ~t_end ~m (sys : Descriptor.t)
+    sources =
   if m <= 0 then invalid_arg "Legendre_solver: m <= 0";
   let n = Descriptor.order sys in
   let p = Descriptor.input_count sys in
@@ -21,14 +22,28 @@ let state_coefficients ?x0 ~t_end ~m (sys : Descriptor.t) sources =
     sources;
   let h_mat = Legendre.integral_matrix ~t_end ~m in
   let bu_int = Mat.mul (Mat.mul sys.Descriptor.b u) h_mat in
-  (* constant 1 = SL₀ *)
-  let one = Array.init m (fun i -> if i = 0 then 1.0 else 0.0) in
-  Engine.solve_integral_kron ~h_mat ~one ~e:(Descriptor.e_dense sys)
-    ~a:(Descriptor.a_dense sys) ~bu_int ~x0
+  (* E X = A X H + B U H + (E x₀)·e₀ᵀ (constant 1 = SL₀), i.e. the
+     two-term dense pencil E·X·I − A·X·H = RHS of the shared Kronecker
+     operator — same matrix solve_integral_kron used to assemble, but
+     factored through the guardrailed primitive *)
+  let op =
+    Spectral_solver.Operator.make ?health ?budget ~n ~m
+      [
+        (Descriptor.e_dense sys, Mat.eye m);
+        (Mat.scale (-1.0) (Descriptor.a_dense sys), h_mat);
+      ]
+  in
+  let e_x0 = Mat.mul_vec (Descriptor.e_dense sys) x0 in
+  let rhs =
+    Mat.init n m (fun r i ->
+        Mat.get bu_int r i +. if i = 0 then e_x0.(r) else 0.0)
+  in
+  Spectral_solver.Operator.solve ?health ?budget op rhs
 
-let simulate ?x0 ~t_end ~m ~sample_count (sys : Descriptor.t) sources =
+let simulate ?health ?budget ?x0 ~t_end ~m ~sample_count (sys : Descriptor.t)
+    sources =
   if sample_count < 2 then invalid_arg "Legendre_solver: sample_count < 2";
-  let x = state_coefficients ?x0 ~t_end ~m sys sources in
+  let x = state_coefficients ?health ?budget ?x0 ~t_end ~m sys sources in
   let q = Descriptor.output_count sys in
   let y = Mat.mul sys.Descriptor.c x in
   let times = Vec.linspace 0.0 t_end sample_count in

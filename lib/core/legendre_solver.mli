@@ -10,9 +10,18 @@ open Opm_signal
     matrix is not triangular, so the system is solved through the
     Kronecker form (cost [O((nm)³)]) — worthwhile exactly because [m]
     stays tiny. Discontinuous inputs (steps, pulses) lose the spectral
-    rate to Gibbs oscillations; prefer block pulses there. *)
+    rate to Gibbs oscillations; prefer block pulses there.
+
+    The Kronecker operator is formed and factored by
+    {!Spectral_solver.Operator} — the same guardrailed primitive behind
+    the Jacobi-Gauss collocation backend — so [?health] receives the
+    condition estimate and singularities surface as structured
+    {!Opm_robust.Opm_error} values, and [?budget] enforces the
+    deadline/factor caps, like every other entry point. *)
 
 val simulate :
+  ?health:Opm_robust.Health.t ->
+  ?budget:Opm_robust.Budget.t ->
   ?x0:Vec.t ->
   t_end:float ->
   m:int ->
@@ -25,5 +34,12 @@ val simulate :
     [sample_count] uniformly spaced points of [[0, t_end]]. *)
 
 val state_coefficients :
-  ?x0:Vec.t -> t_end:float -> m:int -> Descriptor.t -> Source.t array -> Mat.t
+  ?health:Opm_robust.Health.t ->
+  ?budget:Opm_robust.Budget.t ->
+  ?x0:Vec.t ->
+  t_end:float ->
+  m:int ->
+  Descriptor.t ->
+  Source.t array ->
+  Mat.t
 (** The raw [n×m] Legendre coefficient matrix of the state. *)

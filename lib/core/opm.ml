@@ -20,28 +20,30 @@ let bu_matrix ~grid sys sources = Compiled_model.bu_matrix ~grid sys sources
    historical one-shot path built it, so cold behaviour is
    bit-identical while sweep callers can hold on to the compiled model
    and pay the setup once. *)
-let simulate_multi_term ?(backend = `Auto) ?health ?budget ?checkpoint
+let simulate_multi_term ?(backend = `Auto) ?basis ?health ?budget ?checkpoint
     ?checkpoint_every ?resume_from ?x0 ?window ?memory_len ~grid
     (sys : Multi_term.t) sources =
   Trace.with_span "opm.simulate" @@ fun () ->
   let t =
-    Compiled_model.compile ~backend ?health ?window ?memory_len ~grid sys
+    Compiled_model.compile ~backend ?basis ?health ?window ?memory_len ~grid
+      sys
   in
   Compiled_model.solve ?health ?budget ?checkpoint ?checkpoint_every
     ?resume_from ?x0 t sources
 
-let simulate_fractional ?backend ?health ?budget ?checkpoint ?checkpoint_every
-    ?resume_from ?x0 ?window ?memory_len ~grid ~alpha sys sources =
-  simulate_multi_term ?backend ?health ?budget ?checkpoint ?checkpoint_every
-    ?resume_from ?x0 ?window ?memory_len ~grid
+let simulate_fractional ?backend ?basis ?health ?budget ?checkpoint
+    ?checkpoint_every ?resume_from ?x0 ?window ?memory_len ~grid ~alpha sys
+    sources =
+  simulate_multi_term ?backend ?basis ?health ?budget ?checkpoint
+    ?checkpoint_every ?resume_from ?x0 ?window ?memory_len ~grid
     (Multi_term.of_fractional ~alpha sys)
     sources
 
-let simulate_linear ?backend ?health ?budget ?checkpoint ?checkpoint_every
-    ?resume_from ?x0 ?window ?memory_len ~grid sys sources =
-  simulate_multi_term ?backend ?health ?budget ?checkpoint ?checkpoint_every
-    ?resume_from ?x0 ?window ?memory_len ~grid (Multi_term.of_linear sys)
-    sources
+let simulate_linear ?backend ?basis ?health ?budget ?checkpoint
+    ?checkpoint_every ?resume_from ?x0 ?window ?memory_len ~grid sys sources =
+  simulate_multi_term ?backend ?basis ?health ?budget ?checkpoint
+    ?checkpoint_every ?resume_from ?x0 ?window ?memory_len ~grid
+    (Multi_term.of_linear sys) sources
 
 let simulate_linear_kron ~grid (sys : Descriptor.t) sources =
   let mt = Multi_term.of_linear sys in

@@ -40,8 +40,19 @@ open Opm_signal
 
 type backend = [ `Auto | `Dense | `Sparse ]
 
+(** Basis selection: the transient entry points accept
+    [?basis:`Spectral] to swap the block-pulse expansion for the
+    Jacobi-Gauss spectral collocation backend ({!Spectral_solver}).
+    [Grid.size grid] then counts collocation nodes — a few dozen
+    replace thousands of block pulses on smooth sources (exponential
+    vs [O(h²)] convergence), while discontinuous sources are BPF
+    territory (Gibbs; see DESIGN.md §18). Spectral runs are global
+    dense solves: [?window]/[?memory_len]/checkpointing and adaptive
+    grids raise [Invalid_argument]. *)
+
 val simulate_linear :
   ?backend:backend ->
+  ?basis:Compiled_model.basis ->
   ?health:Opm_robust.Health.t ->
   ?budget:Opm_robust.Budget.t ->
   ?checkpoint:string ->
@@ -63,6 +74,7 @@ val simulate_linear :
 
 val simulate_fractional :
   ?backend:backend ->
+  ?basis:Compiled_model.basis ->
   ?health:Opm_robust.Health.t ->
   ?budget:Opm_robust.Budget.t ->
   ?checkpoint:string ->
@@ -84,6 +96,7 @@ val simulate_fractional :
 
 val simulate_multi_term :
   ?backend:backend ->
+  ?basis:Compiled_model.basis ->
   ?health:Opm_robust.Health.t ->
   ?budget:Opm_robust.Budget.t ->
   ?checkpoint:string ->

@@ -18,16 +18,24 @@ exception Singular of int
 
 let mat_norm1 a =
   let n, m = Mat.dims a in
+  let d = a.Mat.data in
   let best = ref 0.0 in
   for j = 0 to m - 1 do
     let s = ref 0.0 in
     for i = 0 to n - 1 do
-      s := !s +. Float.abs (Mat.get a i j)
+      s := !s +. Float.abs (Array.unsafe_get d ((i * m) + j))
     done;
     if !s > !best then best := !s
   done;
   !best
 
+(* The elimination below works on the flat row-major [data] array with
+   hoisted row offsets and unchecked accesses: the O(n³) inner loop is
+   this library's hottest path (the spectral collocation operator is a
+   dense nm × nm pencil), and going through [Mat.get]/[Mat.set] costs
+   an un-inlined call plus two bounds checks per flop. The operation
+   order is exactly the classical k-outer scan, so results are
+   bit-identical to the accessor-based version this replaces. *)
 let factor a =
   Metrics.incr m_factor;
   Metrics.time h_factor_seconds @@ fun () ->
@@ -35,33 +43,44 @@ let factor a =
   if n <> m then invalid_arg "Lu.factor: non-square matrix";
   let norm1 = mat_norm1 a in
   let lu = Mat.copy a in
+  let d = lu.Mat.data in
   let piv = Array.init n (fun i -> i) in
   let sign = ref 1.0 in
   for k = 0 to n - 1 do
+    let rk = k * n in
     (* partial pivoting: pick the largest magnitude in column k below row k *)
     let p = ref k in
+    let best = ref (Float.abs (Array.unsafe_get d (rk + k))) in
     for i = k + 1 to n - 1 do
-      if Float.abs (Mat.get lu i k) > Float.abs (Mat.get lu !p k) then p := i
+      let v = Float.abs (Array.unsafe_get d ((i * n) + k)) in
+      if v > !best then begin
+        p := i;
+        best := v
+      end
     done;
     if !p <> k then begin
+      let rp = !p * n in
       for j = 0 to n - 1 do
-        let tmp = Mat.get lu k j in
-        Mat.set lu k j (Mat.get lu !p j);
-        Mat.set lu !p j tmp
+        let tmp = Array.unsafe_get d (rk + j) in
+        Array.unsafe_set d (rk + j) (Array.unsafe_get d (rp + j));
+        Array.unsafe_set d (rp + j) tmp
       done;
       let tmp = piv.(k) in
       piv.(k) <- piv.(!p);
       piv.(!p) <- tmp;
       sign := -. !sign
     end;
-    let pivot = Mat.get lu k k in
+    let pivot = Array.unsafe_get d (rk + k) in
     if Float.abs pivot < 1e-300 then raise (Singular k);
     for i = k + 1 to n - 1 do
-      let factor = Mat.get lu i k /. pivot in
-      Mat.set lu i k factor;
-      if factor <> 0.0 then
+      let ri = i * n in
+      let f = Array.unsafe_get d (ri + k) /. pivot in
+      Array.unsafe_set d (ri + k) f;
+      if f <> 0.0 then
         for j = k + 1 to n - 1 do
-          Mat.set lu i j (Mat.get lu i j -. (factor *. Mat.get lu k j))
+          Array.unsafe_set d (ri + j)
+            (Array.unsafe_get d (ri + j)
+            -. (f *. Array.unsafe_get d (rk + j)))
         done
     done
   done;
@@ -71,22 +90,25 @@ let solve { lu; piv; _ } b =
   Metrics.incr m_solve;
   let n, _ = Mat.dims lu in
   if Array.length b <> n then invalid_arg "Lu.solve: dimension mismatch";
+  let d = lu.Mat.data in
   let x = Array.init n (fun i -> b.(piv.(i))) in
   (* forward substitution with unit lower triangle *)
   for i = 1 to n - 1 do
-    let s = ref x.(i) in
+    let ri = i * n in
+    let s = ref (Array.unsafe_get x i) in
     for j = 0 to i - 1 do
-      s := !s -. (Mat.get lu i j *. x.(j))
+      s := !s -. (Array.unsafe_get d (ri + j) *. Array.unsafe_get x j)
     done;
-    x.(i) <- !s
+    Array.unsafe_set x i !s
   done;
   (* back substitution with upper triangle *)
   for i = n - 1 downto 0 do
-    let s = ref x.(i) in
+    let ri = i * n in
+    let s = ref (Array.unsafe_get x i) in
     for j = i + 1 to n - 1 do
-      s := !s -. (Mat.get lu i j *. x.(j))
+      s := !s -. (Array.unsafe_get d (ri + j) *. Array.unsafe_get x j)
     done;
-    x.(i) <- !s /. Mat.get lu i i
+    Array.unsafe_set x i (!s /. Array.unsafe_get d (ri + i))
   done;
   x
 
@@ -94,21 +116,22 @@ let solve_transpose { lu; piv; _ } b =
   let n, _ = Mat.dims lu in
   if Array.length b <> n then
     invalid_arg "Lu.solve_transpose: dimension mismatch";
+  let d = lu.Mat.data in
   (* A = P⁻¹LU, so Aᵀ x = b is Uᵀ z = b, Lᵀ w = z, x(piv(i)) = w(i) *)
   let z = Array.copy b in
   for i = 0 to n - 1 do
-    let s = ref z.(i) in
+    let s = ref (Array.unsafe_get z i) in
     for j = 0 to i - 1 do
-      s := !s -. (Mat.get lu j i *. z.(j))
+      s := !s -. (Array.unsafe_get d ((j * n) + i) *. Array.unsafe_get z j)
     done;
-    z.(i) <- !s /. Mat.get lu i i
+    Array.unsafe_set z i (!s /. Array.unsafe_get d ((i * n) + i))
   done;
   for i = n - 1 downto 0 do
-    let s = ref z.(i) in
+    let s = ref (Array.unsafe_get z i) in
     for j = i + 1 to n - 1 do
-      s := !s -. (Mat.get lu j i *. z.(j))
+      s := !s -. (Array.unsafe_get d ((j * n) + i) *. Array.unsafe_get z j)
     done;
-    z.(i) <- !s
+    Array.unsafe_set z i !s
   done;
   let x = Array.make n 0.0 in
   Array.iteri (fun i p -> x.(p) <- z.(i)) piv;

@@ -22,12 +22,13 @@ type analysis = {
   memory_len : int option;
   probes : string list option;
   deadline_s : float option;
+  basis : Opm_core.Compiled_model.basis;
 }
 
 type parsed = { netlist : Netlist.t; analysis : analysis }
 
 let analysis_fields =
-  [ "t_end"; "steps"; "window"; "memory_len"; "probes"; "deadline_s" ]
+  [ "t_end"; "steps"; "window"; "memory_len"; "probes"; "deadline_s"; "basis" ]
 
 let parse_request ?(max_steps = 200_000) body =
   let doc =
@@ -117,12 +118,26 @@ let parse_request ?(max_steps = 200_000) body =
         | Some x when Float.is_finite x && x > 0.0 -> Some x
         | _ -> reject 400 "request" "\"deadline_s\" must be a number > 0")
   in
+  let basis =
+    match field "basis" with
+    | None -> `Bpf
+    | Some (Json.String "bpf") -> `Bpf
+    | Some (Json.String "spectral") -> `Spectral
+    | Some _ ->
+        reject 400 "request" "\"basis\" must be \"bpf\" or \"spectral\""
+  in
+  if basis = `Spectral && window <> None then
+    reject 400 "request"
+      "\"window\" requires the block-pulse basis (spectral models are global)";
   let netlist =
     try Parser.parse_string netlist_text
     with Parser.Parse_error { line; message } ->
       reject 400 "netlist" "netlist line %d: %s" line message
   in
-  { netlist; analysis = { t_end; steps; window; memory_len; probes; deadline_s } }
+  {
+    netlist;
+    analysis = { t_end; steps; window; memory_len; probes; deadline_s; basis };
+  }
 
 let probe_outputs a =
   Option.map (List.map (fun n -> Mna.Node_voltage n)) a.probes
@@ -159,7 +174,7 @@ let mat_payload m =
 
 let opt_int = function None -> Json.Null | Some n -> Json.Int n
 
-let fingerprint ~sys ~t_end ~steps ~window ~memory_len =
+let fingerprint ~sys ~t_end ~steps ~window ~memory_len ~basis =
   let open Opm_core.Multi_term in
   let names a = Json.List (Array.to_list (Array.map (fun s -> Json.String s) a)) in
   let payload =
@@ -186,6 +201,11 @@ let fingerprint ~sys ~t_end ~steps ~window ~memory_len =
         ("steps", Json.Int steps);
         ("window", opt_int window);
         ("memory_len", opt_int memory_len);
+        (* spectral and BPF compiles of the same plant share every field
+           above — the basis must split the cache key *)
+        ( "basis",
+          Json.String
+            (match basis with `Bpf -> "bpf" | `Spectral -> "spectral") );
       ]
   in
   Checkpoint.checksum_of_payload payload

@@ -8,11 +8,15 @@ open Opm_circuit
     {[ { "netlist":  "<netlist source>",
          "analysis": { "t_end": 1e-3, "steps": 512,
                        "window": 128, "memory_len": 64,
-                       "probes": ["out"], "deadline_s": 2.0 } } ]}
+                       "probes": ["out"], "deadline_s": 2.0,
+                       "basis": "spectral" } } ]}
 
-    with [window]/[memory_len]/[probes]/[deadline_s] optional and the
-    field vocabulary closed — unknown fields are rejected, so a typo'd
-    sweep fails loudly instead of silently simulating the default.
+    with [window]/[memory_len]/[probes]/[deadline_s]/[basis] optional
+    and the field vocabulary closed — unknown fields are rejected, so a
+    typo'd sweep fails loudly instead of silently simulating the
+    default. [basis] is ["bpf"] (default) or ["spectral"] (Jacobi-Gauss
+    collocation — [steps] becomes the collocation-node count; rejects
+    [window]).
     Netlist syntax and element semantics are delegated to
     {!Opm_circuit.Parser} and reported with its line numbers; every
     rejection is a one-line structured JSON error.
@@ -34,6 +38,7 @@ type analysis = {
   memory_len : int option;
   probes : string list option;  (** node names; [None] = all nodes *)
   deadline_s : float option;  (** per-request wall-clock budget *)
+  basis : Opm_core.Compiled_model.basis;  (** discretisation basis *)
 }
 
 type parsed = { netlist : Netlist.t; analysis : analysis }
@@ -54,11 +59,13 @@ val fingerprint :
   steps:int ->
   window:int option ->
   memory_len:int option ->
+  basis:Opm_core.Compiled_model.basis ->
   string
 (** Plant cache key: FNV-1a-64 checksum (16 hex digits) over the
     {e stamped} system — term αs and coefficient sparsity/values
     bit-exact via IEEE-754 hex, [A]/[B]/[C], input order, names — plus
-    the grid and window configuration. Keying on the stamped pencil
+    the grid, window and basis configuration (spectral and BPF compiles
+    of the same plant must never collide). Keying on the stamped pencil
     rather than the netlist text means two textually different
     netlists that stamp to the same system (comments, source-waveform
     changes, element order) share one compiled model, which is what

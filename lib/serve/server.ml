@@ -133,7 +133,7 @@ let handle_solve t body =
   in
   let key =
     Protocol.fingerprint ~sys ~t_end:a.t_end ~steps:a.steps ~window:a.window
-      ~memory_len:a.memory_len
+      ~memory_len:a.memory_len ~basis:a.basis
   in
   let deadline_s =
     match a.deadline_s with Some _ as d -> d | None -> t.cfg.deadline_s
@@ -142,7 +142,8 @@ let handle_solve t body =
   Model_cache.with_model t.cache ~key
     ~compile:(fun () ->
       let grid = Grid.uniform ~t_end:a.t_end ~m:a.steps in
-      Compiled_model.compile ?window:a.window ?memory_len:a.memory_len ~grid sys)
+      Compiled_model.compile ~basis:a.basis ?window:a.window
+        ?memory_len:a.memory_len ~grid sys)
     (fun ~cached model ->
       let result = Compiled_model.solve ?budget model sources in
       Protocol.ok_body ~plant:key ~cached

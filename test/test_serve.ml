@@ -684,7 +684,7 @@ let test_fingerprint_source_invariance () =
   let fp text =
     let sys, _ = Mna.stamp (Parser.parse_string text) in
     Protocol.fingerprint ~sys ~t_end:1e-3 ~steps:64 ~window:None
-      ~memory_len:None
+      ~memory_len:None ~basis:`Bpf
   in
   let a = fp "V1 in 0 step(1)\nR1 in out 1k\nC1 out 0 1u\n" in
   let b = fp "* a comment\nV1 in 0 step(7)\nR1 in out 1k\nC1 out 0 1u\n.end" in
@@ -696,9 +696,14 @@ let test_fingerprint_source_invariance () =
   in
   let w =
     Protocol.fingerprint ~sys ~t_end:1e-3 ~steps:64 ~window:(Some 16)
-      ~memory_len:None
+      ~memory_len:None ~basis:`Bpf
   in
-  Alcotest.(check bool) "window config is part of the key" true (a <> w)
+  Alcotest.(check bool) "window config is part of the key" true (a <> w);
+  let sp =
+    Protocol.fingerprint ~sys ~t_end:1e-3 ~steps:64 ~window:None
+      ~memory_len:None ~basis:`Spectral
+  in
+  Alcotest.(check bool) "basis is part of the key" true (a <> sp)
 
 let () =
   Alcotest.run "serve"
